@@ -1,0 +1,104 @@
+"""Micro-benchmarks of the hot substrate paths (true pytest-benchmark
+timings, multiple rounds): prefix-trie LPM, policy-tree construction,
+valley-free BFS, delegate-matrix assembly, and E-model scoring."""
+
+import numpy as np
+
+from repro.bgp.routing import PolicyRouter
+from repro.core import ASAPConfig
+from repro.core.close_cluster import construct_close_cluster_set
+from repro.measurement.matrix import compute_delegate_matrices
+from repro.netaddr import IPv4Address
+from repro.voip import EModel
+
+
+def test_bench_prefix_trie_lpm(benchmark, eval_scenario):
+    table = eval_scenario.prefix_table
+    ips = [h.ip for h in eval_scenario.population.hosts[:2000]]
+
+    def lookup_all():
+        hits = 0
+        for ip in ips:
+            if table.lookup(ip) is not None:
+                hits += 1
+        return hits
+
+    hits = benchmark(lookup_all)
+    assert hits == len(ips)
+
+
+def test_bench_policy_tree_build(benchmark, eval_scenario):
+    graph = eval_scenario.topology.graph
+    stubs = [a for a in graph.ases()][-50:]
+    state = {"i": 0}
+
+    def build_tree():
+        # A fresh router each call so the cache never hides the work.
+        router = PolicyRouter(graph, cache_size=1)
+        dst = stubs[state["i"] % len(stubs)]
+        state["i"] += 1
+        return router.tree(dst)
+
+    tree = benchmark(build_tree)
+    assert len(tree.route_class) > 0.5 * len(graph)
+
+
+def test_bench_valley_free_ball(benchmark, eval_scenario):
+    graph = eval_scenario.topology.graph
+    start = eval_scenario.topology.stub_ases()[0]
+    ball = benchmark(lambda: graph.valley_free_ball(start, 4))
+    assert len(ball) > 1
+
+
+def test_bench_close_set_construction(benchmark, eval_scenario):
+    matrices = eval_scenario.matrices
+    clusters_by_as = {}
+    for idx, asn in enumerate(matrices.asn_of):
+        clusters_by_as.setdefault(int(asn), []).append(idx)
+    own = 0
+    own_as = int(matrices.asn_of[own])
+
+    def lat(a, b):
+        value = float(matrices.rtt_ms[a, b])
+        return value if np.isfinite(value) else None
+
+    def loss(a, b):
+        return float(matrices.loss[a, b])
+
+    result = benchmark(
+        lambda: construct_close_cluster_set(
+            own,
+            own_as,
+            eval_scenario.protocol_graph,
+            lambda asn: clusters_by_as.get(asn, []),
+            lat,
+            loss,
+            ASAPConfig(k_hops=4),
+        )
+    )
+    assert len(result) >= 1
+
+
+def test_bench_delegate_matrix(benchmark, eval_scenario):
+    # Matrix assembly over a subset of clusters (full matrix is the
+    # session fixture's job; this measures the per-destination walks).
+    from repro.scenario import subsample_scenario
+
+    small = subsample_scenario(eval_scenario, 0.15, seed=0)
+    matrices = benchmark.pedantic(
+        lambda: compute_delegate_matrices(small.latency, small.clusters),
+        rounds=1,
+        iterations=1,
+    )
+    assert matrices.count == len(small.clusters)
+
+
+def test_bench_emodel(benchmark):
+    model = EModel()
+    rtts = np.linspace(20.0, 900.0, 5000)
+
+    def score_all():
+        return sum(model.mos_from_rtt(r, 0.005) for r in rtts)
+
+    total = benchmark(score_all)
+    assert total > 0

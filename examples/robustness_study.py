@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Robustness study: do the headline results survive seeds and families?
+
+Reruns the reproduction's headline numbers across three scenario seeds
+and across three topology families (tiered Internet-like,
+Barabási–Albert, Waxman).  The ASAP-beats-baselines and ASAP≈OPT
+orderings hold everywhere; the one-hop rescue rate exposes *why* the
+paper's result works — it needs routing-induced latency pathology,
+which random-geometric (Waxman) worlds lack.
+
+Run:  python examples/robustness_study.py
+"""
+
+from repro.evaluation.report import render_kv_table
+from repro.evaluation.robustness import family_study, seed_study, summarize_across
+from repro.scenario import ScenarioConfig
+from repro.topology import PopulationConfig, TopologyConfig
+
+
+def main() -> None:
+    config = ScenarioConfig(
+        topology=TopologyConfig(tier1_count=5, tier2_count=40, tier3_count=250),
+        population=PopulationConfig(host_count=2000),
+    )
+
+    print("=== headline metrics across seeds (3 worlds) ===")
+    results = seed_study(config, seeds=(0, 1, 2), session_count=1200, latent_target=30)
+    for metrics in results:
+        print("  " + metrics.row())
+    print(render_kv_table("\naggregate (mean ± std):", summarize_across(results)))
+
+    print("\n=== headline metrics across topology families ===")
+    families = family_study(config, as_count=300, session_count=1200, latent_target=30)
+    for metrics in families:
+        print("  " + metrics.row())
+
+    print(
+        "\nreading: rescue rates collapse on Waxman because its latency is"
+        "\ndistance-induced (no routing shortcut exists to exploit); on"
+        "\nInternet-like families — where policy routing, congestion and"
+        "\nmulti-homing create the detours — relays rescue essentially"
+        "\neverything, as the paper measured on the real Internet."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Fig. 17's scalability experiment at example scale.
+
+Runs the same latent calling pattern against two peer populations (the
+full one and a 1/4.434 subsample, the paper's ratio) and reports each
+method's population-normalized quality paths.  A scalable method keeps
+per-capita quality paths stable; fixed-probe methods do not.
+
+Run:  python examples/scalability_study.py
+"""
+
+import numpy as np
+
+from repro import small_scenario
+from repro.evaluation.report import render_kv_table
+from repro.evaluation.scalability import PAPER_POPULATION_RATIO, run_scalability
+
+
+def main() -> None:
+    print("building scenario (~3 s) ...")
+    scenario = small_scenario(seed=1)
+    print("running both population scales ...")
+    result = run_scalability(
+        scenario,
+        ratio=PAPER_POPULATION_RATIO,
+        session_count=1500,
+        latent_target=40,
+        max_latent_sessions=40,
+        seed=1,
+    )
+
+    print(
+        render_kv_table(
+            "\npopulations:",
+            [
+                ("large (hosts)", result.large_population),
+                ("small (hosts)", result.small_population),
+                ("ratio", result.ratio),
+            ],
+        )
+    )
+
+    print("\nmethod     qp_med(small)   qp_med(large)/ratio   scalability error")
+    for method in ("DEDI", "RAND", "MIX", "ASAP"):
+        small_med = float(np.median(result.small.series(method, "one_hop_quality_paths")))
+        large_norm = float(np.median(result.normalized_large_series(method)))
+        err = result.scalability_error(method)
+        print(f"{method:>6}     {small_med:>12.1f}   {large_norm:>18.1f}   {err:>16.3f}")
+
+    print(
+        "\nreading: ASAP's error stays near 0 (quality paths grow with the"
+        "\npopulation), while DEDI/RAND/MIX keep finding the same fixed-size"
+        "\ncandidate sets — the paper's Fig. 17 conclusion."
+    )
+
+
+if __name__ == "__main__":
+    main()

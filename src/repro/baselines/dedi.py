@@ -1,0 +1,64 @@
+"""DEDI — RON-like dedicated relay nodes.
+
+One dedicated relay node is provisioned in each of the N clusters whose
+ASes have the largest connection degrees (infrastructure goes where the
+network is best connected).  Every session probes the whole fleet —
+RON's all-pairs maintenance makes this its per-session equivalent — so
+the overhead is fixed and the candidate set never grows with the peer
+population, which is exactly why DEDI fails the paper's scalability test
+(Fig. 17).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.baselines.base import BaselineConfig, MethodResult, RelayMethod
+from repro.bgp.asgraph import ASGraph
+from repro.measurement.matrix import DelegateMatrices
+
+
+class DEDIMethod(RelayMethod):
+    """Dedicated-relay selection (paper's RON-like baseline)."""
+
+    name = "DEDI"
+
+    def __init__(
+        self,
+        matrices: DelegateMatrices,
+        graph: ASGraph,
+        config: BaselineConfig = BaselineConfig(),
+        fleet_size: Optional[int] = None,
+    ) -> None:
+        super().__init__(matrices, config)
+        size = config.dedicated_count if fleet_size is None else fleet_size
+        self._fleet = _top_degree_clusters(matrices, graph, size)
+
+    @property
+    def fleet(self) -> List[int]:
+        """Cluster indices hosting the dedicated relay nodes."""
+        return list(self._fleet)
+
+    def evaluate_session(self, a: int, b: int, session_id: int = 0) -> MethodResult:
+        candidates = [c for c in self._fleet if c != a and c != b]
+        quality, best = self._score_probes(a, b, candidates)
+        return MethodResult(
+            method=self.name,
+            quality_paths=quality,
+            best_rtt_ms=best,
+            messages=2 * len(candidates),
+            probed_nodes=len(candidates),
+        )
+
+
+def _top_degree_clusters(
+    matrices: DelegateMatrices, graph: ASGraph, count: int
+) -> List[int]:
+    """Clusters ranked by their AS's connection degree, highest first."""
+
+    def degree_of(idx: int) -> int:
+        asn = int(matrices.asn_of[idx])
+        return graph.degree(asn) if asn in graph else 0
+
+    ranked = sorted(range(matrices.count), key=lambda i: (-degree_of(i), i))
+    return ranked[:count]

@@ -1,0 +1,44 @@
+"""Route value types shared by the policy-routing engine."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Tuple
+
+
+class RouteClass(IntEnum):
+    """How a route was learned, in BGP preference order (lower = preferred).
+
+    An AS prefers routes learned from customers (it is paid to carry
+    them) over peer routes (settlement-free) over provider routes (it
+    pays).  This local preference dominates AS-path length, which is why
+    direct IP routing is frequently *not* the shortest path — the effect
+    the whole paper exploits.
+    """
+
+    CUSTOMER = 0
+    PEER = 1
+    PROVIDER = 2
+    ORIGIN = -1  # the destination AS itself
+
+
+@dataclass(frozen=True)
+class PolicyRoute:
+    """The route an AS selects toward a destination AS."""
+
+    source: int
+    destination: int
+    route_class: RouteClass
+    as_path: Tuple[int, ...]  # source first, destination last
+
+    def __post_init__(self) -> None:
+        if not self.as_path or self.as_path[0] != self.source or self.as_path[-1] != self.destination:
+            raise ValueError(
+                f"as_path {self.as_path} does not run {self.source}->{self.destination}"
+            )
+
+    @property
+    def hops(self) -> int:
+        """Number of AS-level hops (edges) on the path."""
+        return len(self.as_path) - 1

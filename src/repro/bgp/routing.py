@@ -1,0 +1,205 @@
+"""BGP policy route computation over an annotated AS graph.
+
+This engine produces, for any destination AS, the route every other AS
+would actually select under standard Gao-Rexford export/preference rules:
+
+- export: an AS exports customer-learned routes (and its own prefixes)
+  to everyone, but exports peer/provider-learned routes only to its
+  customers;
+- preference: customer routes > peer routes > provider routes, then
+  shortest AS path, then lowest next-hop ASN (determinism).
+
+The selected paths are the simulator's ground truth for *direct IP
+routing* — they are valley-free but often longer than the shortest
+valley-free path, which is precisely why one-hop peer relays can beat
+direct routing (paper Section 3.3, Fig. 4).
+
+Implementation: one pass per destination, three phases.
+
+1. customer routes — BFS from the destination along customer→provider
+   edges (each AS learns the route from the customer side);
+2. peer routes — one peer edge on top of a customer route;
+3. provider routes — Dijkstra-style downhill propagation where an AS
+   inherits its provider's selected route (any class) plus one hop.
+
+Sibling edges transit everything in both directions and are folded into
+phase 1 (they extend customer route propagation without changing class).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional, Set, Tuple
+
+from repro.errors import TopologyError
+from repro.bgp.asgraph import ASGraph
+from repro.bgp.routes import PolicyRoute, RouteClass
+
+
+@dataclass
+class RoutingTree:
+    """All selected routes toward one destination AS.
+
+    ``next_hop[n]`` is the AS that ``n`` forwards to; walking next hops
+    always terminates at the destination.
+    """
+
+    destination: int
+    route_class: Dict[int, RouteClass]
+    distance: Dict[int, int]
+    next_hop: Dict[int, int]
+
+    def reaches(self, source: int) -> bool:
+        """True if ``source`` has any route to the destination."""
+        return source in self.route_class
+
+    def path_from(self, source: int) -> Optional[Tuple[int, ...]]:
+        """AS path source→destination, or None if unreachable."""
+        if source == self.destination:
+            return (source,)
+        if source not in self.route_class:
+            return None
+        path = [source]
+        node = source
+        while node != self.destination:
+            node = self.next_hop[node]
+            path.append(node)
+            if len(path) > len(self.route_class) + 2:
+                raise TopologyError("routing loop detected — internal invariant broken")
+        return tuple(path)
+
+    def route_from(self, source: int) -> Optional[PolicyRoute]:
+        """Full :class:`PolicyRoute` for ``source``, or None if unreachable."""
+        path = self.path_from(source)
+        if path is None:
+            return None
+        cls = RouteClass.ORIGIN if source == self.destination else self.route_class[source]
+        return PolicyRoute(
+            source=source,
+            destination=self.destination,
+            route_class=cls,
+            as_path=path,
+        )
+
+
+class PolicyRouter:
+    """Per-destination policy routing with an LRU cache of routing trees."""
+
+    def __init__(self, graph: ASGraph, cache_size: int = 4096) -> None:
+        if cache_size < 1:
+            raise ValueError(f"cache_size must be >= 1, got {cache_size}")
+        self._graph = graph
+        self._cache: "OrderedDict[int, RoutingTree]" = OrderedDict()
+        self._cache_size = cache_size
+
+    @property
+    def graph(self) -> ASGraph:
+        return self._graph
+
+    def tree(self, destination: int) -> RoutingTree:
+        """The routing tree toward ``destination`` (cached)."""
+        cached = self._cache.get(destination)
+        if cached is not None:
+            self._cache.move_to_end(destination)
+            return cached
+        built = self._build_tree(destination)
+        self._cache[destination] = built
+        if len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+        return built
+
+    def route(self, source: int, destination: int) -> Optional[PolicyRoute]:
+        """The route ``source`` selects toward ``destination`` (or None)."""
+        if source not in self._graph or destination not in self._graph:
+            raise TopologyError(f"unknown AS in pair ({source}, {destination})")
+        return self.tree(destination).route_from(source)
+
+    def as_path(self, source: int, destination: int) -> Optional[Tuple[int, ...]]:
+        """Shorthand for the selected AS path (or None if unreachable)."""
+        route = self.route(source, destination)
+        return None if route is None else route.as_path
+
+    def invalidate(self) -> None:
+        """Drop all cached trees (call after mutating the graph)."""
+        self._cache.clear()
+
+    # -- tree construction ---------------------------------------------------
+
+    def _build_tree(self, destination: int) -> RoutingTree:
+        graph = self._graph
+        if destination not in graph:
+            raise TopologyError(f"unknown destination AS {destination}")
+
+        route_class: Dict[int, RouteClass] = {destination: RouteClass.ORIGIN}
+        distance: Dict[int, int] = {destination: 0}
+        next_hop: Dict[int, int] = {}
+
+        # Phase 1 — customer routes: propagate from the destination up
+        # customer→provider edges (and across sibling edges).
+        queue = deque([destination])
+        while queue:
+            node = queue.popleft()
+            dist = distance[node]
+            uphill = graph.providers(node) | graph.siblings(node)
+            for learner in sorted(uphill):
+                if learner in route_class:
+                    continue
+                route_class[learner] = RouteClass.CUSTOMER
+                distance[learner] = dist + 1
+                next_hop[learner] = node
+                queue.append(learner)
+
+        # Phase 2 — peer routes: exactly one peer edge on top of a
+        # customer route (or directly to the destination).
+        customer_holders = [n for n, c in route_class.items() if c in (RouteClass.CUSTOMER, RouteClass.ORIGIN)]
+        peer_candidates: Dict[int, Tuple[int, int]] = {}
+        for holder in customer_holders:
+            for learner in graph.peers(holder):
+                if learner in route_class:
+                    continue
+                cand = (distance[holder] + 1, holder)
+                if learner not in peer_candidates or cand < peer_candidates[learner]:
+                    peer_candidates[learner] = cand
+        for learner, (dist, via) in peer_candidates.items():
+            route_class[learner] = RouteClass.PEER
+            distance[learner] = dist
+            next_hop[learner] = via
+
+        # Phase 3 — provider routes: downhill inheritance of any selected
+        # route, Dijkstra order so shorter provider routes win.
+        heap = [(distance[n], n) for n in route_class]
+        heapq.heapify(heap)
+        settled: Set[int] = set()
+        while heap:
+            dist, node = heapq.heappop(heap)
+            if node in settled or distance.get(node, dist + 1) < dist:
+                continue
+            settled.add(node)
+            for customer in sorted(graph.customers(node)):
+                cand = dist + 1
+                if customer in route_class and distance[customer] <= cand:
+                    continue
+                if customer in route_class and route_class[customer] is not RouteClass.PROVIDER:
+                    continue  # customer/peer routes are always preferred
+                route_class[customer] = RouteClass.PROVIDER
+                distance[customer] = cand
+                next_hop[customer] = node
+                heapq.heappush(heap, (cand, customer))
+
+        return RoutingTree(
+            destination=destination,
+            route_class=route_class,
+            distance=distance,
+            next_hop=next_hop,
+        )
+
+
+def reachable_pairs_fraction(router: PolicyRouter, sample: Iterable[Tuple[int, int]]) -> float:
+    """Fraction of (src, dst) pairs with a selected route — a health probe."""
+    pairs = list(sample)
+    if not pairs:
+        return 1.0
+    ok = sum(1 for s, d in pairs if router.tree(d).reaches(s))
+    return ok / len(pairs)

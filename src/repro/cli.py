@@ -1,0 +1,314 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands mirror the paper's workflow:
+
+- ``generate``   build a scenario and export its artifacts (RIB dump,
+                 update stream, measured matrices) to a directory;
+- ``section3``   the measurement-foundation experiment (Figs. 2-3);
+- ``section5``   the 14-session Skype study (Tables 1-2, Figs. 6-7);
+- ``section7``   ASAP vs baselines on latent sessions (Figs. 11-16, 18);
+- ``scalability``the two-population experiment (Fig. 17);
+- ``call``       one ASAP call on the worst direct pair, verbosely.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+import numpy as np
+
+from repro.scenario import (
+    Scenario,
+    ScenarioConfig,
+    build_scenario,
+    evaluation_config,
+    small_scenario,
+    tiny_scenario,
+)
+
+_SCALES = ("tiny", "small", "evaluation")
+
+
+def _build(scale: str, seed: int) -> Scenario:
+    if scale == "tiny":
+        return tiny_scenario(seed)
+    if scale == "small":
+        return small_scenario(seed)
+    if scale == "evaluation":
+        return build_scenario(evaluation_config(seed))
+    raise ValueError(f"unknown scale {scale!r}")
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=_SCALES, default="small",
+                        help="scenario size (default: small)")
+    parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    from repro.storage import (
+        save_matrices,
+        write_asgraph_file,
+        write_rib_file,
+        write_update_file,
+    )
+    from repro.topology.bgpfeed import generate_rib_entries, generate_update_stream
+
+    scenario = _build(args.scale, args.seed)
+    out = Path(args.output)
+    out.mkdir(parents=True, exist_ok=True)
+    entries = generate_rib_entries(
+        scenario.topology, scenario.allocation, seed=args.seed
+    )
+    updates = generate_update_stream(
+        scenario.topology, scenario.allocation, seed=args.seed
+    )
+    n_routes = write_rib_file(out / "rib.dump", entries)
+    n_updates = write_update_file(out / "updates.log", updates)
+    n_edges = write_asgraph_file(out / "asgraph.txt", scenario.inferred_graph)
+    save_matrices(out / "matrices.npz", scenario.matrices)
+    print(
+        f"wrote {n_routes} routes, {n_updates} updates, {n_edges} AS-graph "
+        f"edges, {scenario.matrices.count}x{scenario.matrices.count} matrices to {out}"
+    )
+    return 0
+
+
+def cmd_section3(args: argparse.Namespace) -> int:
+    from repro.evaluation.report import render_cdf_row, render_kv_table
+    from repro.evaluation.section3 import run_section3
+
+    scenario = _build(args.scale, args.seed)
+    result = run_section3(scenario, session_count=args.sessions, seed=args.seed)
+    print(render_cdf_row("direct", result.direct_rtts, "ms"))
+    print(render_cdf_row("opt 1-hop", result.optimal_one_hop, "ms"))
+    print(
+        render_kv_table(
+            "summary:",
+            [
+                ("latent fraction (>300 ms)", result.latent_fraction),
+                ("improved fraction", result.improved_fraction),
+                ("latent rescued fraction", result.rescued_fraction),
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_section5(args: argparse.Namespace) -> int:
+    from repro.evaluation.section5 import run_section5
+
+    scenario = _build(args.scale, args.seed)
+    study = run_section5(scenario, seed=args.seed)
+    print("session  stabilization_s  probed  after_stab  asymmetric")
+    for analysis, stab, probed, after in zip(
+        study.analyses,
+        study.stabilization_seconds(),
+        study.probed_counts(),
+        study.probed_after_stabilization(),
+    ):
+        print(
+            f"{analysis.session_id:>7}  {stab:>15.1f}  {probed:>6}  {after:>10}  "
+            f"{'yes' if analysis.asymmetric else 'no':>10}"
+        )
+    rows = study.same_as_table()
+    print(f"same-AS probe groups: {len(rows)}")
+    return 0
+
+
+def cmd_section7(args: argparse.Namespace) -> int:
+    from repro.evaluation.report import render_method_table
+    from repro.evaluation.section7 import run_section7
+
+    scenario = _build(args.scale, args.seed)
+    result = run_section7(
+        scenario,
+        session_count=args.sessions,
+        latent_target=args.latent,
+        max_latent_sessions=args.latent,
+        seed=args.seed,
+    )
+    print(f"latent sessions: {len(result.latent_sessions)}")
+    print(render_method_table(result.summaries()))
+    if args.records:
+        from repro.storage import save_records_csv
+
+        rows = [r for records in result.records.values() for r in records]
+        save_records_csv(args.records, rows)
+        print(f"wrote {len(rows)} records to {args.records}")
+    return 0
+
+
+def cmd_scalability(args: argparse.Namespace) -> int:
+    from repro.evaluation.report import render_kv_table
+    from repro.evaluation.scalability import run_scalability
+
+    scenario = _build(args.scale, args.seed)
+    result = run_scalability(
+        scenario,
+        session_count=args.sessions,
+        latent_target=args.latent,
+        max_latent_sessions=args.latent,
+        seed=args.seed,
+    )
+    print(
+        render_kv_table(
+            "scalability error by method (≈0 = scalable):",
+            [(m, result.scalability_error(m)) for m in ("DEDI", "RAND", "MIX", "ASAP")],
+        )
+    )
+    return 0
+
+
+def cmd_call(args: argparse.Namespace) -> int:
+    from repro.core import ASAPConfig, ASAPSystem
+    from repro.core.config import derive_k_hops
+
+    scenario = _build(args.scale, args.seed)
+    matrices = scenario.matrices
+    system = ASAPSystem(scenario, ASAPConfig(k_hops=derive_k_hops(matrices)))
+    rtt = matrices.rtt_ms.copy()
+    rtt[~np.isfinite(rtt)] = -1.0
+    a, b = np.unravel_index(int(np.argmax(rtt)), rtt.shape)
+    clusters = scenario.clusters.all_clusters()
+    session = system.call(clusters[a].hosts[0].ip, clusters[b].hosts[0].ip)
+    print(f"caller {session.caller} -> callee {session.callee}")
+    print(f"direct RTT: {session.direct_rtt_ms:.0f} ms; relay needed: {session.relay_needed}")
+    if session.selection is not None:
+        print(f"quality paths: {session.quality_paths} "
+              f"({session.selection.one_hop_ips} one-hop IPs, "
+              f"{session.selection.two_hop_pairs} two-hop pairs)")
+        print(f"messages: {session.messages}")
+        best = session.best_relay_rtt_ms
+        print("best relay RTT: " + (f"{best:.0f} ms" if best is not None else "none found"))
+    return 0
+
+
+def cmd_limits(args: argparse.Namespace) -> int:
+    from repro.evaluation.report import render_kv_table
+    from repro.evaluation.section5 import run_skype_batch
+    from repro.measurement.tools import KingEstimator
+    from repro.skype.analyzer import TraceAnalyzer
+    from repro.skype.limits import detect_limits
+
+    scenario = _build(args.scale, args.seed)
+    study = run_skype_batch(scenario, session_count=args.sessions, seed=args.seed)
+    analyzer = TraceAnalyzer(
+        scenario.prefix_table,
+        king=KingEstimator(scenario.latency, seed=args.seed, non_response_rate=0.0),
+        population=scenario.population,
+    )
+    king = KingEstimator(scenario.latency, seed=args.seed, non_response_rate=0.0)
+    report = detect_limits(
+        study.analyses, study.results, analyzer,
+        king=king, population=scenario.population,
+    )
+    print(render_kv_table("detected Skype limits:", report.summary_rows()))
+    return 0
+
+
+def cmd_robustness(args: argparse.Namespace) -> int:
+    from repro.evaluation.report import render_kv_table
+    from repro.evaluation.robustness import seed_study, summarize_across
+    from repro.scenario import ScenarioConfig
+    from repro.topology import PopulationConfig, TopologyConfig
+
+    base = ScenarioConfig(
+        topology=TopologyConfig(tier1_count=5, tier2_count=40, tier3_count=250),
+        population=PopulationConfig(host_count=2000),
+    )
+    seeds = tuple(range(args.seed, args.seed + args.worlds))
+    results = seed_study(base, seeds=seeds, session_count=args.sessions, latent_target=30)
+    for metrics in results:
+        print(metrics.row())
+    print(render_kv_table("aggregate:", summarize_across(results)))
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    from repro.evaluation.figures import export_all
+
+    scenario = _build(args.scale, args.seed)
+    written = export_all(
+        scenario,
+        args.output,
+        session_count=args.sessions,
+        latent_target=args.latent,
+        seed=args.seed,
+    )
+    for name, rows in sorted(written.items()):
+        print(f"  {name}: {rows} rows")
+    print(f"wrote {len(written)} figure data files to {args.output}")
+    return 0
+
+
+def make_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ASAP (ICDCS 2006) reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate", help="export scenario artifacts to a directory")
+    _add_common(p)
+    p.add_argument("--output", required=True, help="output directory")
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("section3", help="measurement foundation (Figs. 2-3)")
+    _add_common(p)
+    p.add_argument("--sessions", type=int, default=2000)
+    p.set_defaults(func=cmd_section3)
+
+    p = sub.add_parser("section5", help="Skype study (Tables 1-2, Figs. 6-7)")
+    _add_common(p)
+    p.set_defaults(func=cmd_section5)
+
+    p = sub.add_parser("section7", help="ASAP vs baselines (Figs. 11-16, 18)")
+    _add_common(p)
+    p.add_argument("--sessions", type=int, default=2000)
+    p.add_argument("--latent", type=int, default=60)
+    p.add_argument("--records", help="write per-session records CSV here")
+    p.set_defaults(func=cmd_section7)
+
+    p = sub.add_parser("scalability", help="two-population experiment (Fig. 17)")
+    _add_common(p)
+    p.add_argument("--sessions", type=int, default=1500)
+    p.add_argument("--latent", type=int, default=40)
+    p.set_defaults(func=cmd_scalability)
+
+    p = sub.add_parser("call", help="run one ASAP call on the worst direct pair")
+    _add_common(p)
+    p.set_defaults(func=cmd_call)
+
+    p = sub.add_parser("figures", help="export every figure's raw data as CSV")
+    _add_common(p)
+    p.add_argument("--output", required=True, help="output directory")
+    p.add_argument("--sessions", type=int, default=1500)
+    p.add_argument("--latent", type=int, default=40)
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("limits", help="detect the four Skype limits at scale")
+    _add_common(p)
+    p.add_argument("--sessions", type=int, default=20)
+    p.set_defaults(func=cmd_limits)
+
+    p = sub.add_parser("robustness", help="headline metrics across seeds")
+    _add_common(p)
+    p.add_argument("--worlds", type=int, default=3)
+    p.add_argument("--sessions", type=int, default=1200)
+    p.set_defaults(func=cmd_robustness)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = make_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

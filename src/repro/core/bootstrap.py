@@ -1,0 +1,73 @@
+"""Bootstrap nodes (paper Section 6.1).
+
+Bootstraps are the system's dedicated always-on servers.  They keep the
+annotated AS graph, the IP-prefix→ASN mapping table, and the
+IP-prefix→cluster-surrogate table; they answer join requests and appoint
+replacement surrogates when one fails.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.bgp.asgraph import ASGraph
+from repro.bgp.prefix_table import PrefixOriginTable
+from repro.errors import ProtocolError
+from repro.netaddr import IPv4Address, IPv4Prefix
+
+
+@dataclass(frozen=True)
+class JoinInfo:
+    """What a bootstrap returns to a joining end host."""
+
+    asn: int
+    prefix: IPv4Prefix
+    surrogate_ip: IPv4Address
+
+
+@dataclass
+class Bootstrap:
+    """One bootstrap server.
+
+    ``surrogate_of`` is shared mutable state across all bootstraps of a
+    system (they replicate it); the :class:`~repro.core.protocol.ASAPSystem`
+    owns the single authoritative copy.
+    """
+
+    name: str
+    prefix_table: PrefixOriginTable
+    graph: ASGraph
+    surrogate_of: Dict[IPv4Prefix, IPv4Address]
+    join_requests: int = 0
+    messages: int = 0
+
+    def join(self, ip: IPv4Address) -> JoinInfo:
+        """Process a join: translate IP → (ASN, prefix, surrogate IP).
+
+        Raises :class:`ProtocolError` when the IP matches no announced
+        prefix (the host cannot participate in prefix clustering) or the
+        cluster has no surrogate yet (the caller becomes one).
+        """
+        self.join_requests += 1
+        self.messages += 2  # request + response
+        match = self.prefix_table.lookup(ip)
+        if match is None:
+            raise ProtocolError(f"join from {ip}: no announced prefix covers it")
+        prefix, asn = match
+        surrogate_ip = self.surrogate_of.get(prefix)
+        if surrogate_ip is None:
+            raise ProtocolError(f"join from {ip}: cluster {prefix} has no surrogate")
+        return JoinInfo(asn=asn, prefix=prefix, surrogate_ip=surrogate_ip)
+
+    def register_surrogate(self, prefix: IPv4Prefix, surrogate_ip: IPv4Address) -> None:
+        """Install or replace a cluster's surrogate."""
+        self.surrogate_of[prefix] = surrogate_ip
+
+    def surrogate_for(self, prefix: IPv4Prefix) -> Optional[IPv4Address]:
+        return self.surrogate_of.get(prefix)
+
+    def disseminate_graph(self) -> ASGraph:
+        """Hand out the annotated AS graph (to surrogates)."""
+        self.messages += 1
+        return self.graph

@@ -1,0 +1,181 @@
+"""``construct-close-cluster-set()`` — paper Fig. 9.
+
+Runs on a cluster surrogate ``s``: breadth-first search from s's AS over
+the annotated AS graph under the valley-free constraint, up to ``k``
+hops.  Every cluster discovered in a visited AS is probed (surrogate to
+surrogate RTT and loss); clusters passing the thresholds join the close
+cluster set.  Expansion continues through an AS only while the
+measurements there still pass — latT/lossT "stop path expansion".
+
+ASes that host no online cluster (transit networks) cannot be probed and
+do not bound the search; only the hop limit stops expansion through them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.bgp.asgraph import ASGraph, _PHASE_DOWN, _PHASE_UP
+from repro.core.config import ASAPConfig
+from repro.errors import ProtocolError
+
+# lat(c_own, c_other) and loss(c_own, c_other) between cluster surrogates,
+# by cluster matrix index; None when the probe gets no answer.
+LatencyProbe = Callable[[int, int], Optional[float]]
+LossProbe = Callable[[int, int], Optional[float]]
+
+
+@dataclass(frozen=True)
+class CloseClusterEntry:
+    """One member of a close cluster set, with its measured path metrics."""
+
+    cluster: int        # matrix index of the member cluster
+    rtt_ms: float       # measured surrogate-to-surrogate RTT
+    loss: float         # measured one-way loss rate
+    as_hops: int        # valley-free BFS depth at which it was found
+
+
+@dataclass
+class CloseClusterSet:
+    """The close cluster set of one cluster (keyed by matrix index)."""
+
+    owner: int
+    entries: Dict[int, CloseClusterEntry] = field(default_factory=dict)
+    probe_messages: int = 0       # maintenance traffic spent building it
+    ases_visited: int = 0
+
+    def __contains__(self, cluster: int) -> bool:
+        return cluster in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def rtt_to(self, cluster: int) -> float:
+        try:
+            return self.entries[cluster].rtt_ms
+        except KeyError:
+            raise ProtocolError(
+                f"cluster {cluster} not in close set of {self.owner}"
+            ) from None
+
+    def clusters(self) -> List[int]:
+        return sorted(self.entries)
+
+
+def construct_close_cluster_set(
+    own_cluster: int,
+    own_as: int,
+    graph: ASGraph,
+    clusters_in_as: Callable[[int], List[int]],
+    lat: LatencyProbe,
+    loss: LossProbe,
+    config: ASAPConfig = ASAPConfig(),
+) -> CloseClusterSet:
+    """Build the close cluster set for ``own_cluster`` whose AS is ``own_as``.
+
+    ``clusters_in_as`` maps an AS number to the matrix indices of online
+    clusters it hosts.  ``lat``/``loss`` probe the direct path between
+    this surrogate and another cluster's surrogate (2 messages per
+    probed cluster are accounted).
+    """
+    result = CloseClusterSet(owner=own_cluster)
+    if own_as not in graph:
+        # The surrogate's AS is unknown to the (inferred) graph — can
+        # happen when inference dropped it; the close set is then empty.
+        return result
+
+    # Own cluster and co-located clusters are trivially close (intra-AS).
+    for cluster in clusters_in_as(own_as):
+        if cluster == own_cluster:
+            result.entries[cluster] = CloseClusterEntry(cluster, 0.0, 0.0, 0)
+            continue
+        measured = _probe(result, own_cluster, cluster, lat, loss)
+        if measured is not None:
+            rtt, lost = measured
+            if rtt < config.lat_threshold_ms and lost < config.loss_threshold:
+                result.entries[cluster] = CloseClusterEntry(cluster, rtt, lost, 0)
+    result.ases_visited = 1
+
+    # Valley-free BFS outward, mirroring ASGraph.valley_free_ball but
+    # with threshold-based pruning per visited AS.
+    visited: Set[Tuple[int, int]] = {(own_as, _PHASE_UP)}
+    seen_as: Set[int] = {own_as}
+    queue = deque([(own_as, _PHASE_UP, 0)])
+    while queue:
+        node, phase, dist = queue.popleft()
+        if dist == config.k_hops:
+            continue
+        for nxt, nxt_phase in _steps(graph, node, phase, config.valley_free):
+            state = (nxt, nxt_phase)
+            if state in visited:
+                continue
+            visited.add(state)
+            expand = True
+            if nxt not in seen_as:
+                seen_as.add(nxt)
+                result.ases_visited += 1
+                expand = _visit_as(
+                    result, nxt, dist + 1, own_cluster, clusters_in_as, lat, loss, config
+                )
+            if expand:
+                queue.append((nxt, nxt_phase, dist + 1))
+    return result
+
+
+def _visit_as(
+    result: CloseClusterSet,
+    asn: int,
+    depth: int,
+    own_cluster: int,
+    clusters_in_as: Callable[[int], List[int]],
+    lat: LatencyProbe,
+    loss: LossProbe,
+    config: ASAPConfig,
+) -> bool:
+    """Probe every cluster in a newly visited AS.
+
+    Returns whether the BFS may expand *through* this AS: transit ASes
+    (no clusters) always allow expansion; populated ASes allow it only
+    if at least one of their clusters passed the thresholds.
+    """
+    clusters = clusters_in_as(asn)
+    if not clusters:
+        return True
+    any_passed = False
+    for cluster in clusters:
+        measured = _probe(result, own_cluster, cluster, lat, loss)
+        if measured is None:
+            continue
+        rtt, lost = measured
+        if rtt < config.lat_threshold_ms and lost < config.loss_threshold:
+            if cluster not in result.entries:
+                result.entries[cluster] = CloseClusterEntry(cluster, rtt, lost, depth)
+            any_passed = True
+    return any_passed
+
+
+def _probe(
+    result: CloseClusterSet,
+    own_cluster: int,
+    other: int,
+    lat: LatencyProbe,
+    loss: LossProbe,
+) -> Optional[Tuple[float, float]]:
+    """One surrogate-to-surrogate measurement (request + response)."""
+    result.probe_messages += 2
+    rtt = lat(own_cluster, other)
+    lost = loss(own_cluster, other)
+    if rtt is None or lost is None:
+        return None
+    return rtt, lost
+
+
+def _steps(graph: ASGraph, node: int, phase: int, valley_free: bool):
+    """Neighbor moves; falls back to unconstrained BFS when disabled."""
+    if valley_free:
+        yield from graph._valley_free_steps(node, phase)
+        return
+    for neighbor in graph.neighbors(node):
+        yield neighbor, phase

@@ -1,0 +1,62 @@
+"""End host nodes (paper Section 6.1).
+
+End hosts carry the light duties: join through a bootstrap to learn
+their ASN and surrogate, publish nodal information, and run
+select-close-relay when they initiate calls (the system object drives
+that last step because it needs both endpoints).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.bootstrap import Bootstrap, JoinInfo
+from repro.errors import ProtocolError
+from repro.netaddr import IPv4Address
+from repro.topology.population import Host
+
+
+@dataclass
+class EndHost:
+    """One VoIP end host participating in ASAP."""
+
+    host: Host
+    join_info: Optional[JoinInfo] = None
+    messages: int = 0
+
+    @property
+    def ip(self) -> IPv4Address:
+        return self.host.ip
+
+    @property
+    def joined(self) -> bool:
+        return self.join_info is not None
+
+    def join(self, bootstraps: Sequence[Bootstrap]) -> JoinInfo:
+        """Join the system through the first bootstrap that answers.
+
+        End hosts pick a bootstrap deterministically by hashing their IP
+        so the load spreads across the bootstrap fleet.
+        """
+        if not bootstraps:
+            raise ProtocolError("no bootstraps available")
+        order = list(range(len(bootstraps)))
+        start = self.host.ip.value % len(bootstraps)
+        order = order[start:] + order[:start]
+        last_error: Optional[ProtocolError] = None
+        for idx in order:
+            try:
+                self.messages += 2
+                self.join_info = bootstraps[idx].join(self.ip)
+                return self.join_info
+            except ProtocolError as exc:
+                last_error = exc
+        raise last_error if last_error else ProtocolError("join failed")
+
+    def publish_nodal_info(self, surrogate) -> None:
+        """Periodically publish capability info to the cluster surrogate."""
+        if not self.joined:
+            raise ProtocolError(f"{self.ip} must join before publishing")
+        self.messages += 1
+        surrogate.accept_nodal_info(self.ip, self.host.info)

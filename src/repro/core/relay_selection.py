@@ -1,0 +1,145 @@
+"""``select-close-relay()`` — paper Fig. 10.
+
+Given the close cluster sets S1 (caller's) and S2 (callee's):
+
+- **one-hop**: every cluster in S1 ∩ S2 whose relay path
+  ``relaylat(h1-r-h2) = S1.rtt(r) + S2.rtt(r) + relay_delay`` beats the
+  latency threshold contributes *all of its member IPs* as one-hop
+  relay candidates (set OS);
+- **two-hop**: if OS holds fewer than ``sizeT`` candidate IPs, the
+  caller fetches the close sets of one-hop candidate clusters' surrogates
+  (2 messages each) and adds IP *pairs* (r1, r2) with
+  ``relaylat(h1-r1-r2-h2) < latT`` (set TS).
+
+Message accounting follows Section 7.3: one-hop selection costs 2
+messages (obtaining S2 from the callee); each two-hop close-set fetch
+costs 2 more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.close_cluster import CloseClusterSet
+from repro.core.config import ASAPConfig
+
+
+@dataclass(frozen=True)
+class OneHopCandidate:
+    """A one-hop relay cluster with its estimated relay-path RTT."""
+
+    cluster: int
+    relay_rtt_ms: float
+    member_ips: int  # number of individual relay IPs this cluster offers
+
+
+@dataclass(frozen=True)
+class TwoHopCandidate:
+    """A two-hop relay cluster pair with its estimated relay-path RTT."""
+
+    first: int
+    second: int
+    relay_rtt_ms: float
+    member_pairs: int  # |cluster(first)| × |cluster(second)| IP pairs
+
+
+@dataclass
+class RelaySelection:
+    """Result of select-close-relay for one calling session."""
+
+    one_hop: List[OneHopCandidate] = field(default_factory=list)
+    two_hop: List[TwoHopCandidate] = field(default_factory=list)
+    messages: int = 0
+    two_hop_queries: int = 0
+
+    @property
+    def one_hop_ips(self) -> int:
+        """|OS| — individual one-hop relay IPs found."""
+        return sum(c.member_ips for c in self.one_hop)
+
+    @property
+    def two_hop_pairs(self) -> int:
+        """|TS| — two-hop relay IP pairs found."""
+        return sum(c.member_pairs for c in self.two_hop)
+
+    @property
+    def quality_paths(self) -> int:
+        """Total quality relay paths this session can use."""
+        return self.one_hop_ips + self.two_hop_pairs
+
+    def best_rtt_ms(self) -> Optional[float]:
+        """Shortest relay-path RTT among all candidates, or None."""
+        rtts = [c.relay_rtt_ms for c in self.one_hop] + [
+            c.relay_rtt_ms for c in self.two_hop
+        ]
+        return min(rtts) if rtts else None
+
+
+def select_close_relay(
+    s1: CloseClusterSet,
+    s2: CloseClusterSet,
+    cluster_size: Callable[[int], int],
+    close_set_of: Callable[[int], CloseClusterSet],
+    config: ASAPConfig = ASAPConfig(),
+) -> RelaySelection:
+    """Run select-close-relay for a session between s1's and s2's hosts.
+
+    ``cluster_size`` maps a cluster index to its online host count;
+    ``close_set_of`` fetches another surrogate's close cluster set (the
+    two-hop step; each call is billed 2 messages).
+    """
+    result = RelaySelection()
+    result.messages += 2  # h1 obtains S2 from h2 (request + response)
+
+    # One-hop: intersect close sets.
+    common = sorted(set(s1.entries) & set(s2.entries))
+    for cluster in common:
+        relay_rtt = s1.rtt_to(cluster) + s2.rtt_to(cluster) + config.relay_delay_rtt_ms
+        if relay_rtt < config.lat_threshold_ms:
+            result.one_hop.append(
+                OneHopCandidate(
+                    cluster=cluster,
+                    relay_rtt_ms=relay_rtt,
+                    member_ips=cluster_size(cluster),
+                )
+            )
+
+    if result.one_hop_ips >= config.size_threshold:
+        return result
+
+    # Two-hop: expand through the close sets of one-hop candidate
+    # clusters (the surrogates of clusters already known close to h1).
+    first_hops = [c.cluster for c in result.one_hop]
+    if config.max_two_hop_queries is not None:
+        first_hops = first_hops[: config.max_two_hop_queries]
+    seen_pairs: Dict[Tuple[int, int], float] = {}
+    for r1 in first_hops:
+        os1 = close_set_of(r1)
+        result.messages += 2
+        result.two_hop_queries += 1
+        for r2 in os1.clusters():
+            if r2 not in s2.entries or r2 == r1:
+                continue
+            relay_rtt = (
+                s1.rtt_to(r1)
+                + os1.rtt_to(r2)
+                + s2.rtt_to(r2)
+                + 2.0 * config.relay_delay_rtt_ms
+            )
+            if relay_rtt < config.lat_threshold_ms:
+                key = (r1, r2)
+                if key not in seen_pairs or relay_rtt < seen_pairs[key]:
+                    seen_pairs[key] = relay_rtt
+    for (r1, r2), relay_rtt in sorted(seen_pairs.items()):
+        result.two_hop.append(
+            TwoHopCandidate(
+                first=r1,
+                second=r2,
+                relay_rtt_ms=relay_rtt,
+                member_pairs=cluster_size(r1) * cluster_size(r2),
+            )
+        )
+    return result

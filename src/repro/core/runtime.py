@@ -1,0 +1,276 @@
+"""Event-driven ASAP deployment: protocol flows over the simulated network.
+
+:class:`ASAPSystem` computes *what* the protocol decides; this module
+adds *when*: joins, nodal publishes and call setups run as real message
+exchanges over :class:`~repro.sim.network.SimNetwork`, every hop paying
+the latency model's one-way delay.  The headline measurement is **call
+setup time** — the paper's answer to Skype's Limit 3: where Skype needs
+tens-to-hundreds of seconds of probing to stabilize, ASAP's
+select-close-relay completes in a handful of RTTs.
+
+Setup flow timed for a latent session (Fig. 8's steps):
+
+1. caller pings callee (1 RTT) and sees the direct path is latent;
+2. caller fetches its close cluster set from its surrogate (1 RTT to
+   the surrogate);
+3. caller requests the callee's close set through the callee (1 RTT +
+   the callee's own surrogate round trip when not cached);
+4. if one-hop candidates are too few, the caller queries candidate
+   surrogates for their close sets in parallel (max of those RTTs);
+5. selection completes locally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.config import ASAPConfig
+from repro.core.protocol import ASAPSession, ASAPSystem
+from repro.errors import ProtocolError
+from repro.netaddr import IPv4Address
+from repro.scenario import Scenario
+from repro.sim.engine import Simulator
+from repro.sim.network import SimNetwork
+from repro.topology.population import Host, NodalInfo
+
+
+@dataclass
+class JoinRecord:
+    """Timing of one end host's join."""
+
+    ip: IPv4Address
+    started_ms: float
+    completed_ms: Optional[float] = None
+
+    @property
+    def duration_ms(self) -> Optional[float]:
+        if self.completed_ms is None:
+            return None
+        return self.completed_ms - self.started_ms
+
+
+@dataclass
+class CallSetupRecord:
+    """Timing + outcome of one call's relay selection."""
+
+    caller: IPv4Address
+    callee: IPv4Address
+    started_ms: float
+    completed_ms: Optional[float] = None
+    session: Optional[ASAPSession] = None
+
+    @property
+    def setup_ms(self) -> Optional[float]:
+        if self.completed_ms is None:
+            return None
+        return self.completed_ms - self.started_ms
+
+
+class ASAPRuntime:
+    """Drives ASAP protocol flows through a discrete-event simulation."""
+
+    def __init__(self, scenario: Scenario, config: ASAPConfig = ASAPConfig()) -> None:
+        self._scenario = scenario
+        self._system = ASAPSystem(scenario, config)
+        self._config = config
+        self.sim = Simulator()
+        self.network = SimNetwork(self.sim, scenario.latency)
+        self._bootstrap_hosts = self._make_bootstrap_hosts()
+        self._registered: Dict[IPv4Address, Host] = {}
+        self.joins: List[JoinRecord] = []
+        self.call_setups: List[CallSetupRecord] = []
+        self.surrogate_failures: List = []
+        for host in self._bootstrap_hosts:
+            self.network.register(host, lambda message: None)
+
+    @property
+    def system(self) -> ASAPSystem:
+        return self._system
+
+    def _make_bootstrap_hosts(self) -> List[Host]:
+        """Synthesize dedicated bootstrap servers inside transit ASes."""
+        hosts: List[Host] = []
+        transit = self._scenario.topology.transit_ases()
+        for index in range(self._config.bootstrap_count):
+            asn = transit[index % len(transit)]
+            prefixes = self._scenario.allocation.prefixes_of.get(asn)
+            if not prefixes:
+                raise ProtocolError(f"transit AS {asn} has no prefix for a bootstrap")
+            ip = prefixes[0].nth_address(10 + index)
+            hosts.append(
+                Host(
+                    ip=ip,
+                    asn=asn,
+                    prefix=prefixes[0],
+                    access_delay_ms=1.0,
+                    info=NodalInfo(bandwidth_kbps=10**6, uptime_hours=10**4, cpu_score=100.0),
+                )
+            )
+        return hosts
+
+    def _ensure_registered(self, ip: IPv4Address) -> Host:
+        host = self._registered.get(ip)
+        if host is None:
+            host = self._scenario.population.by_ip(ip)
+            self.network.register(host, lambda message: None)
+            self._registered[ip] = host
+        return host
+
+    def _rtt_between(self, a: Host, b: Host) -> Optional[float]:
+        return self._scenario.latency.host_rtt_ms(a, b)
+
+    # -- join flow -----------------------------------------------------------
+
+    def schedule_join(self, ip: IPv4Address, at_ms: float = 0.0) -> JoinRecord:
+        """Schedule an end host's join at a simulated time."""
+        record = JoinRecord(ip=ip, started_ms=at_ms)
+        self.joins.append(record)
+        host = self._ensure_registered(ip)
+
+        def start() -> None:
+            record.started_ms = self.sim.now_ms
+            bootstrap_host = self._bootstrap_hosts[ip.value % len(self._bootstrap_hosts)]
+            rtt = self._rtt_between(host, bootstrap_host)
+            if rtt is None:
+                return  # unreachable bootstrap: join fails silently
+            self.network.send(host, bootstrap_host.ip, "join-request")
+            self.sim.schedule(rtt, lambda: self._join_response(record, host))
+
+        self.sim.schedule_at(at_ms, start)
+        return record
+
+    def _join_response(self, record: JoinRecord, host: Host) -> None:
+        endhost = self._system.join(host.ip)
+        surrogate = self._system.surrogate(
+            self._system.cluster_of_ip(host.ip), requester=host.ip
+        )
+        surrogate_host = self._ensure_registered(surrogate.ip) if surrogate.ip in self._scenario.population else surrogate.host
+        self.network.send(host, surrogate.ip, "publish-nodal-info")
+        publish_rtt = self._rtt_between(host, surrogate_host)
+        delay = (publish_rtt / 2.0) if publish_rtt is not None else 0.0
+        self.sim.schedule(delay, lambda: self._join_done(record))
+
+    def _join_done(self, record: JoinRecord) -> None:
+        record.completed_ms = self.sim.now_ms
+
+    # -- call setup flow -------------------------------------------------------
+
+    def schedule_call(
+        self,
+        caller_ip: IPv4Address,
+        callee_ip: IPv4Address,
+        at_ms: float = 0.0,
+        on_complete: Optional[Callable[[CallSetupRecord], None]] = None,
+    ) -> CallSetupRecord:
+        """Schedule a call setup; timing lands in the returned record."""
+        record = CallSetupRecord(caller=caller_ip, callee=callee_ip, started_ms=at_ms)
+        self.call_setups.append(record)
+        caller = self._ensure_registered(caller_ip)
+        callee = self._ensure_registered(callee_ip)
+
+        def start() -> None:
+            record.started_ms = self.sim.now_ms
+            ping_rtt = self._rtt_between(caller, callee)
+            if ping_rtt is None:
+                return  # callee unreachable: setup cannot complete
+            self.network.send(caller, callee_ip, "ping")
+            self.sim.schedule(ping_rtt, lambda: self._after_ping(record, caller, callee, on_complete))
+
+        self.sim.schedule_at(at_ms, start)
+        return record
+
+    def _after_ping(
+        self,
+        record: CallSetupRecord,
+        caller: Host,
+        callee: Host,
+        on_complete: Optional[Callable[[CallSetupRecord], None]],
+    ) -> None:
+        session = self._system.call(caller.ip, callee.ip)
+        record.session = session
+        if not session.relay_needed:
+            self._complete(record, on_complete)
+            return
+
+        # Fetch own close set from the caller's surrogate.
+        own_surrogate = self._system.surrogate(session.caller_cluster, requester=caller.ip)
+        own_rtt = self._rtt_between(caller, own_surrogate.host) or 0.0
+        self.network.send(caller, own_surrogate.ip, "close-set-request")
+
+        # Fetch the callee's close set through the callee (which may
+        # itself round-trip to its surrogate first).
+        callee_surrogate = self._system.surrogate(session.callee_cluster, requester=callee.ip)
+        peer_leg = self._rtt_between(caller, callee) or 0.0
+        callee_leg = self._rtt_between(callee, callee_surrogate.host) or 0.0
+        self.network.send(caller, callee.ip, "close-set-request")
+        fetch_ms = max(own_rtt, peer_leg + callee_leg)
+
+        # Two-hop expansion queries run in parallel.
+        two_hop_ms = 0.0
+        if session.selection is not None and session.selection.two_hop_queries > 0:
+            for candidate in session.selection.one_hop[: session.selection.two_hop_queries]:
+                surrogate = self._system.surrogate(candidate.cluster, requester=caller.ip)
+                rtt = self._rtt_between(caller, surrogate.host)
+                self.network.send(caller, surrogate.ip, "close-set-request")
+                if rtt is not None:
+                    two_hop_ms = max(two_hop_ms, rtt)
+
+        self.sim.schedule(fetch_ms + two_hop_ms, lambda: self._complete(record, on_complete))
+
+    def _complete(
+        self,
+        record: CallSetupRecord,
+        on_complete: Optional[Callable[[CallSetupRecord], None]],
+    ) -> None:
+        record.completed_ms = self.sim.now_ms
+        if on_complete is not None:
+            on_complete(record)
+
+    # -- churn --------------------------------------------------------------------
+
+    def schedule_leave(self, ip: IPv4Address, at_ms: float) -> None:
+        """An end host leaves the system at a simulated time.
+
+        Surrogate members trigger re-election (recorded alongside
+        surrogate failures); ordinary members just drop off.
+        """
+
+        def leave() -> None:
+            promoted = self._system.leave(ip)
+            if promoted is not None:
+                cluster_index = self._system.cluster_of_ip(ip)
+                self.surrogate_failures.append(
+                    (self.sim.now_ms, cluster_index, promoted.ip)
+                )
+
+        self.sim.schedule_at(at_ms, leave)
+
+    def schedule_surrogate_failure(self, cluster_index: int, at_ms: float) -> None:
+        """Kill a cluster's primary surrogate at a simulated time.
+
+        Bootstraps appoint the next most capable host (§6.1's surrogate
+        replacement); single-host clusters are left alone (their only
+        member *is* the surrogate).
+        """
+
+        def fail() -> None:
+            try:
+                fresh = self._system.fail_surrogate(cluster_index)
+            except ProtocolError:
+                return
+            self.surrogate_failures.append((self.sim.now_ms, cluster_index, fresh.ip))
+
+        self.sim.schedule_at(at_ms, fail)
+
+    # -- driving -----------------------------------------------------------------
+
+    def run(self, until_ms: Optional[float] = None) -> None:
+        """Drain the event queue (optionally bounded in simulated time)."""
+        self.sim.run(until_ms=until_ms)
+
+    def setup_times_ms(self) -> List[float]:
+        """Setup durations of all completed call setups."""
+        return [r.setup_ms for r in self.call_setups if r.setup_ms is not None]

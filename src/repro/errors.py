@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch a single base class at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AddressError(ReproError, ValueError):
+    """An IPv4 address or prefix string could not be parsed or is invalid."""
+
+
+class BGPParseError(ReproError, ValueError):
+    """A BGP RIB dump or update stream is malformed."""
+
+
+class TopologyError(ReproError):
+    """A generated or supplied topology violates a structural invariant."""
+
+
+class MeasurementError(ReproError):
+    """A latency/loss measurement was requested for an unknown endpoint."""
+
+
+class ProtocolError(ReproError):
+    """A protocol node received a message it cannot process."""
+
+
+class ConfigurationError(ReproError, ValueError):
+    """A configuration object holds out-of-range or inconsistent values."""
+
+
+class EvaluationError(ReproError):
+    """An experiment harness was invoked with an inconsistent setup."""

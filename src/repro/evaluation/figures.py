@@ -1,0 +1,128 @@
+"""Figure-data export: one CSV per paper figure.
+
+``export_all`` runs every experiment and writes the raw series each
+figure plots — the artifact a plotting notebook or gnuplot script would
+consume.  Columns are long-format (figure, series, x, y) so one loader
+handles everything.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.evaluation.section3 import run_section3
+from repro.evaluation.section5 import run_section5
+from repro.evaluation.section7 import METHOD_NAMES, run_section7
+from repro.scenario import Scenario
+from repro.util.stats import cdf_points
+
+PathLike = Union[str, Path]
+
+
+def _write_series(path: Path, rows: Sequence[Tuple[str, str, float, float]]) -> int:
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["figure", "series", "x", "y"])
+        for row in rows:
+            writer.writerow(row)
+    return len(rows)
+
+
+def export_section3(scenario: Scenario, out_dir: Path, session_count: int = 1500, seed: int = 0) -> Dict[str, int]:
+    """Write fig02 (RTT CDFs) and fig03 (reduction + latent rescue) data."""
+    result = run_section3(scenario, session_count=session_count, seed=seed)
+    written: Dict[str, int] = {}
+
+    rows: List[Tuple[str, str, float, float]] = []
+    for value, p in cdf_points(result.direct_rtts[np.isfinite(result.direct_rtts)]):
+        rows.append(("fig02", "direct_rtt_cdf", value, p))
+    finite_opt = result.optimal_one_hop[np.isfinite(result.optimal_one_hop)]
+    for value, p in cdf_points(finite_opt):
+        rows.append(("fig02", "opt1hop_rtt_cdf", value, p))
+    written["fig02.csv"] = _write_series(out_dir / "fig02.csv", rows)
+
+    rows = []
+    for value, p in cdf_points(result.reduction_ratios):
+        rows.append(("fig03a", "reduction_ratio_cdf", value, p))
+    for i, (direct, opt) in enumerate(
+        zip(result.latent_direct, result.latent_optimal)
+    ):
+        if np.isfinite(direct):
+            rows.append(("fig03b", "latent_direct", float(i), float(direct)))
+        if np.isfinite(opt):
+            rows.append(("fig03b", "latent_opt1hop", float(i), float(opt)))
+    written["fig03.csv"] = _write_series(out_dir / "fig03.csv", rows)
+    return written
+
+
+def export_section5(scenario: Scenario, out_dir: Path, seed: int = 0) -> Dict[str, int]:
+    """Write fig07 (stabilization / probe counts) data."""
+    study = run_section5(scenario, seed=seed)
+    rows: List[Tuple[str, str, float, float]] = []
+    for sid, value in enumerate(study.stabilization_seconds(), start=1):
+        rows.append(("fig07a", "stabilization_s", float(sid), value))
+    for sid, value in enumerate(study.probed_counts(), start=1):
+        rows.append(("fig07b", "probed_nodes", float(sid), float(value)))
+    for sid, value in enumerate(study.probed_after_stabilization(), start=1):
+        rows.append(("fig07c", "probed_after_stab", float(sid), float(value)))
+    return {"fig07.csv": _write_series(out_dir / "fig07.csv", rows)}
+
+
+def export_section7(
+    scenario: Scenario,
+    out_dir: Path,
+    session_count: int = 1500,
+    latent_target: int = 40,
+    seed: int = 0,
+) -> Dict[str, int]:
+    """Write fig11-16 and fig18 per-method CDF data."""
+    result = run_section7(
+        scenario,
+        session_count=session_count,
+        latent_target=latent_target,
+        max_latent_sessions=latent_target,
+        seed=seed,
+    )
+    written: Dict[str, int] = {}
+    figures = (
+        ("fig12", "quality_paths"),
+        ("fig14", "best_rtt_ms"),
+        ("fig16", "highest_mos"),
+        ("fig18", "messages"),
+    )
+    for figure, metric in figures:
+        rows: List[Tuple[str, str, float, float]] = []
+        for method in METHOD_NAMES:
+            if method not in result.records:
+                continue
+            series = result.series(method, metric)
+            finite = series[np.isfinite(series)]
+            for value, p in cdf_points(finite):
+                rows.append((figure, method, value, p))
+        written[f"{figure}.csv"] = _write_series(out_dir / f"{figure}.csv", rows)
+    return written
+
+
+def export_all(
+    scenario: Scenario,
+    out_dir: PathLike,
+    session_count: int = 1500,
+    latent_target: int = 40,
+    seed: int = 0,
+) -> Dict[str, int]:
+    """Run everything and write every figure's data; returns row counts."""
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    written: Dict[str, int] = {}
+    written.update(export_section3(scenario, out, session_count=session_count, seed=seed))
+    written.update(export_section5(scenario, out, seed=seed))
+    written.update(
+        export_section7(
+            scenario, out, session_count=session_count, latent_target=latent_target, seed=seed
+        )
+    )
+    return written

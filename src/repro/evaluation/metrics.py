@@ -1,0 +1,138 @@
+"""Per-session per-method metric records and summaries (Section 7.1).
+
+The paper's three metrics: (1) number of quality paths, (2) shortest
+RTT / highest MOS of those paths, (3) overhead in messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.baselines.base import MethodResult
+from repro.core.protocol import ASAPSession
+from repro.voip.quality import DEFAULT_EVAL_LOSS_RATE, RTT_THRESHOLD_MS, mos_of_path
+
+
+@dataclass(frozen=True)
+class MethodRecord:
+    """One method's metrics on one session.
+
+    ``one_hop_quality_paths`` counts individual one-hop relay IPs only
+    (two-hop candidates are IP *pairs* and scale quadratically with the
+    population, so per-capita comparisons — Fig. 17 — use the one-hop
+    count).  For baselines it equals ``quality_paths``.
+    """
+
+    method: str
+    session_id: int
+    quality_paths: int
+    best_rtt_ms: Optional[float]
+    highest_mos: Optional[float]
+    messages: int
+    one_hop_quality_paths: Optional[int] = None
+
+    @property
+    def one_hop_count(self) -> int:
+        if self.one_hop_quality_paths is not None:
+            return self.one_hop_quality_paths
+        return self.quality_paths
+
+    @property
+    def found_quality_path(self) -> bool:
+        return (
+            self.best_rtt_ms is not None
+            and np.isfinite(self.best_rtt_ms)
+            and self.best_rtt_ms < RTT_THRESHOLD_MS
+        )
+
+
+def record_from_baseline(
+    session_id: int, result: MethodResult, loss_rate: float = DEFAULT_EVAL_LOSS_RATE
+) -> MethodRecord:
+    """Convert a baseline MethodResult into a MethodRecord."""
+    mos = (
+        mos_of_path(result.best_rtt_ms, loss_rate)
+        if result.best_rtt_ms is not None and np.isfinite(result.best_rtt_ms)
+        else None
+    )
+    return MethodRecord(
+        method=result.method,
+        session_id=session_id,
+        quality_paths=result.quality_paths,
+        best_rtt_ms=result.best_rtt_ms,
+        highest_mos=mos,
+        messages=result.messages,
+    )
+
+
+def record_from_asap(
+    session: ASAPSession, session_id: int, loss_rate: float = DEFAULT_EVAL_LOSS_RATE
+) -> MethodRecord:
+    """Convert an ASAPSession into a MethodRecord."""
+    best = session.best_relay_rtt_ms
+    mos = mos_of_path(best, loss_rate) if best is not None else None
+    one_hop = session.selection.one_hop_ips if session.selection else 0
+    return MethodRecord(
+        method="ASAP",
+        session_id=session_id,
+        quality_paths=session.quality_paths,
+        best_rtt_ms=best,
+        highest_mos=mos,
+        messages=session.messages,
+        one_hop_quality_paths=one_hop,
+    )
+
+
+@dataclass(frozen=True)
+class MethodSummary:
+    """Distribution summary of one method over many sessions."""
+
+    method: str
+    sessions: int
+    quality_paths_median: float
+    quality_paths_p90: float
+    best_rtt_median_ms: float
+    best_rtt_p95_ms: float
+    frac_best_below_300: float
+    frac_rtt_above_1s: float
+    mos_median: float
+    frac_mos_below_2_9: float
+    frac_mos_above_3_6: float
+    messages_median: float
+    messages_p90: float
+
+
+def summarize_method(records: Sequence[MethodRecord]) -> MethodSummary:
+    """Aggregate records (all from one method) into a summary row."""
+    if not records:
+        raise ValueError("cannot summarize zero records")
+    methods = {r.method for r in records}
+    if len(methods) != 1:
+        raise ValueError(f"records mix methods: {sorted(methods)}")
+    qp = np.array([r.quality_paths for r in records], dtype=float)
+    rtts = np.array(
+        [r.best_rtt_ms if r.best_rtt_ms is not None else np.inf for r in records]
+    )
+    mos = np.array(
+        [r.highest_mos if r.highest_mos is not None else 1.0 for r in records]
+    )
+    msgs = np.array([r.messages for r in records], dtype=float)
+    finite_rtts = rtts[np.isfinite(rtts)]
+    return MethodSummary(
+        method=methods.pop(),
+        sessions=len(records),
+        quality_paths_median=float(np.median(qp)),
+        quality_paths_p90=float(np.percentile(qp, 90)),
+        best_rtt_median_ms=float(np.median(finite_rtts)) if finite_rtts.size else float("inf"),
+        best_rtt_p95_ms=float(np.percentile(finite_rtts, 95)) if finite_rtts.size else float("inf"),
+        frac_best_below_300=float(np.mean(rtts < RTT_THRESHOLD_MS)),
+        frac_rtt_above_1s=float(np.mean(~np.isfinite(rtts) | (rtts > 1000.0))),
+        mos_median=float(np.median(mos)),
+        frac_mos_below_2_9=float(np.mean(mos < 2.9)),
+        frac_mos_above_3_6=float(np.mean(mos > 3.6)),
+        messages_median=float(np.median(msgs)),
+        messages_p90=float(np.percentile(msgs, 90)),
+    )

@@ -1,0 +1,142 @@
+"""Robustness studies: do the headline results survive seeds and
+topology families?
+
+Two axes the paper could not vary (one Internet, one snapshot) that a
+simulation can and should:
+
+- :func:`seed_study` — rerun the headline metrics across scenario
+  seeds and report mean ± std (is seed 0 a lucky draw?);
+- :func:`family_study` — rebuild the whole pipeline on alternative
+  topology families (tiered / Barabási–Albert / Waxman) and check the
+  ordering of methods holds on each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.evaluation.section3 import run_section3
+from repro.evaluation.section7 import run_section7
+from repro.scenario import Scenario, ScenarioConfig, build_scenario, build_scenario_from_topology
+from repro.topology.models import generate_barabasi_albert, generate_waxman
+
+
+@dataclass(frozen=True)
+class HeadlineMetrics:
+    """The reproduction's headline numbers for one scenario."""
+
+    label: str
+    latent_fraction: float
+    rescued_by_opt_one_hop: float
+    asap_over_best_baseline: float   # median quality-path ratio
+    asap_over_opt_rtt: float         # median shortest-RTT ratio
+    asap_rescue_rate: float
+
+    def row(self) -> str:
+        return (
+            f"{self.label:>14}  latent={self.latent_fraction:5.3f}  "
+            f"opt_rescue={self.rescued_by_opt_one_hop:5.2f}  "
+            f"asap/base_qp={self.asap_over_best_baseline:7.1f}  "
+            f"asap/opt_rtt={self.asap_over_opt_rtt:5.3f}  "
+            f"asap_rescue={self.asap_rescue_rate:5.2f}"
+        )
+
+
+def headline_metrics(
+    scenario: Scenario,
+    label: str,
+    session_count: int = 1500,
+    latent_target: int = 40,
+    seed: int = 0,
+) -> HeadlineMetrics:
+    """Compute the headline numbers on one scenario."""
+    section3 = run_section3(scenario, session_count=session_count, seed=seed)
+    section7 = run_section7(
+        scenario,
+        session_count=session_count,
+        latent_target=latent_target,
+        max_latent_sessions=latent_target,
+        seed=seed,
+    )
+
+    def med_qp(method: str) -> float:
+        return float(np.median(section7.series(method, "quality_paths")))
+
+    asap_rtts = section7.series("ASAP", "best_rtt_ms")
+    opt_rtts = section7.series("OPT", "best_rtt_ms")
+    both = np.isfinite(asap_rtts) & np.isfinite(opt_rtts)
+    rtt_ratio = (
+        float(np.median(asap_rtts[both] / opt_rtts[both])) if np.any(both) else float("nan")
+    )
+    best_baseline = max(med_qp(m) for m in ("DEDI", "RAND", "MIX"))
+    return HeadlineMetrics(
+        label=label,
+        latent_fraction=section3.latent_fraction,
+        rescued_by_opt_one_hop=section3.rescued_fraction,
+        asap_over_best_baseline=med_qp("ASAP") / max(best_baseline, 1.0),
+        asap_over_opt_rtt=rtt_ratio,
+        asap_rescue_rate=float(np.mean(np.isfinite(asap_rtts) & (asap_rtts < 300.0))),
+    )
+
+
+def seed_study(
+    base_config: ScenarioConfig,
+    seeds: Sequence[int] = (0, 1, 2),
+    session_count: int = 1500,
+    latent_target: int = 40,
+) -> List[HeadlineMetrics]:
+    """Headline metrics across scenario seeds."""
+    results: List[HeadlineMetrics] = []
+    for seed in seeds:
+        scenario = build_scenario(base_config.with_seed(seed))
+        results.append(
+            headline_metrics(
+                scenario,
+                f"seed={seed}",
+                session_count=session_count,
+                latent_target=latent_target,
+                seed=seed,
+            )
+        )
+    return results
+
+
+def family_study(
+    config: ScenarioConfig,
+    as_count: int = 450,
+    session_count: int = 1500,
+    latent_target: int = 40,
+    seed: int = 0,
+) -> List[HeadlineMetrics]:
+    """Headline metrics across topology families of comparable size."""
+    tiered = build_scenario(config.with_seed(seed))
+    ba = build_scenario_from_topology(
+        generate_barabasi_albert(as_count=as_count, seed=seed), config.with_seed(seed)
+    )
+    waxman = build_scenario_from_topology(
+        generate_waxman(as_count=as_count, seed=seed), config.with_seed(seed)
+    )
+    return [
+        headline_metrics(tiered, "tiered", session_count, latent_target, seed),
+        headline_metrics(ba, "barabasi-albert", session_count, latent_target, seed),
+        headline_metrics(waxman, "waxman", session_count, latent_target, seed),
+    ]
+
+
+def summarize_across(metrics: Sequence[HeadlineMetrics]) -> List[Tuple[str, str]]:
+    """Mean ± std rows over a batch of headline metrics."""
+    fields = (
+        ("latent_fraction", "latent fraction"),
+        ("rescued_by_opt_one_hop", "opt 1-hop rescue rate"),
+        ("asap_over_best_baseline", "ASAP/baseline quality-path ratio"),
+        ("asap_over_opt_rtt", "ASAP/OPT shortest-RTT ratio"),
+        ("asap_rescue_rate", "ASAP rescue rate"),
+    )
+    rows: List[Tuple[str, str]] = []
+    for attr, label in fields:
+        values = np.array([getattr(m, attr) for m in metrics])
+        rows.append((label, f"{values.mean():.3f} ± {values.std():.3f}"))
+    return rows

@@ -1,0 +1,131 @@
+"""Section 7 experiments: ASAP vs DEDI/RAND/MIX/OPT (Figs. 11-18).
+
+One run produces, for every latent session and every method, a
+:class:`~repro.evaluation.metrics.MethodRecord`; the figure-specific
+series (quality-path CDF, shortest-RTT CCDF, MOS CDF, overhead CDF) are
+all views over those records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import (
+    BaselineConfig,
+    DEDIMethod,
+    MIXMethod,
+    OPTMethod,
+    RANDMethod,
+)
+from repro.core import ASAPConfig, ASAPSystem
+from repro.evaluation.metrics import (
+    MethodRecord,
+    MethodSummary,
+    record_from_asap,
+    record_from_baseline,
+    summarize_method,
+)
+from repro.evaluation.sessions import Session, SessionWorkload, generate_workload
+from repro.scenario import Scenario
+
+METHOD_NAMES = ("DEDI", "RAND", "MIX", "ASAP", "OPT")
+
+
+@dataclass
+class Section7Result:
+    """Per-method records over the latent sessions."""
+
+    latent_sessions: List[Session]
+    records: Dict[str, List[MethodRecord]] = field(default_factory=dict)
+
+    def summary(self, method: str) -> MethodSummary:
+        return summarize_method(self.records[method])
+
+    def summaries(self) -> List[MethodSummary]:
+        return [self.summary(name) for name in METHOD_NAMES if name in self.records]
+
+    def series(self, method: str, metric: str) -> np.ndarray:
+        """Raw per-session series for a metric ('quality_paths',
+        'best_rtt_ms', 'highest_mos', 'messages')."""
+        rows = self.records[method]
+        if metric == "quality_paths":
+            return np.array([r.quality_paths for r in rows], dtype=float)
+        if metric == "one_hop_quality_paths":
+            return np.array([r.one_hop_count for r in rows], dtype=float)
+        if metric == "best_rtt_ms":
+            return np.array(
+                [r.best_rtt_ms if r.best_rtt_ms is not None else np.inf for r in rows]
+            )
+        if metric == "highest_mos":
+            return np.array(
+                [r.highest_mos if r.highest_mos is not None else 1.0 for r in rows]
+            )
+        if metric == "messages":
+            return np.array([r.messages for r in rows], dtype=float)
+        raise ValueError(f"unknown metric {metric!r}")
+
+
+def run_section7(
+    scenario: Scenario,
+    session_count: int = 3000,
+    latent_target: int = 100,
+    seed: int = 0,
+    asap_config: Optional[ASAPConfig] = None,
+    baseline_config: BaselineConfig = BaselineConfig(),
+    methods: Sequence[str] = METHOD_NAMES,
+    workload: Optional[SessionWorkload] = None,
+    max_latent_sessions: Optional[int] = None,
+) -> Section7Result:
+    """Evaluate all methods on the latent sessions of a workload.
+
+    When ``asap_config`` is None, the BFS hop limit k is derived from
+    the scenario's own measurements with the paper's 90%-of-sub-300ms-
+    paths rule (Section 6.2) instead of hard-coding the paper's k = 4.
+    """
+    if asap_config is None:
+        from repro.core.config import derive_k_hops
+
+        asap_config = ASAPConfig(k_hops=derive_k_hops(scenario.matrices))
+    if workload is None:
+        workload = generate_workload(
+            scenario, session_count, seed=seed, latent_target=latent_target
+        )
+    latent = workload.latent(asap_config.lat_threshold_ms)
+    if max_latent_sessions is not None:
+        latent = latent[:max_latent_sessions]
+
+    matrices = scenario.matrices
+    graph = scenario.topology.graph
+    engines = {}
+    if "DEDI" in methods:
+        engines["DEDI"] = DEDIMethod(matrices, graph, baseline_config)
+    if "RAND" in methods:
+        engines["RAND"] = RANDMethod(matrices, baseline_config)
+    if "MIX" in methods:
+        engines["MIX"] = MIXMethod(matrices, graph, baseline_config)
+    if "OPT" in methods:
+        engines["OPT"] = OPTMethod(matrices, baseline_config)
+    asap_system = ASAPSystem(scenario, asap_config) if "ASAP" in methods else None
+
+    result = Section7Result(latent_sessions=latent)
+    for name in engines:
+        result.records[name] = []
+    if asap_system is not None:
+        result.records["ASAP"] = []
+
+    for session in latent:
+        a, b = session.caller_cluster, session.callee_cluster
+        for name, engine in engines.items():
+            outcome = engine.evaluate_session(a, b, session.session_id)
+            result.records[name].append(
+                record_from_baseline(session.session_id, outcome)
+            )
+        if asap_system is not None:
+            call = asap_system.call(session.caller, session.callee)
+            result.records["ASAP"].append(
+                record_from_asap(call, session.session_id)
+            )
+    return result

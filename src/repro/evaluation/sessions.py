@@ -1,0 +1,121 @@
+"""VoIP session workload generation (paper Section 7.1).
+
+The paper generates 100,000 random peer pairs from the collected IP pool
+and focuses on the ~1,000 whose direct IP routing RTT exceeds 300 ms.
+Here sessions are random *host* pairs (so populous clusters appear
+proportionally often), scored at cluster granularity against the
+delegate matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.errors import EvaluationError
+from repro.netaddr import IPv4Address
+from repro.scenario import Scenario
+from repro.util.rng import derive_rng
+from repro.voip.quality import RTT_THRESHOLD_MS
+
+
+@dataclass(frozen=True)
+class Session:
+    """One calling session between two end hosts."""
+
+    session_id: int
+    caller: IPv4Address
+    callee: IPv4Address
+    caller_cluster: int
+    callee_cluster: int
+    direct_rtt_ms: float
+
+    @property
+    def is_latent(self) -> bool:
+        """Direct path misses the VoIP RTT requirement."""
+        return not (np.isfinite(self.direct_rtt_ms) and self.direct_rtt_ms < RTT_THRESHOLD_MS)
+
+
+@dataclass
+class SessionWorkload:
+    """A generated batch of sessions plus its latent subset."""
+
+    sessions: List[Session] = field(default_factory=list)
+
+    def latent(self, threshold_ms: float = RTT_THRESHOLD_MS) -> List[Session]:
+        """Sessions whose direct RTT exceeds ``threshold_ms``."""
+        return [
+            s
+            for s in self.sessions
+            if not (np.isfinite(s.direct_rtt_ms) and s.direct_rtt_ms < threshold_ms)
+        ]
+
+    def direct_rtts(self) -> np.ndarray:
+        return np.array([s.direct_rtt_ms for s in self.sessions])
+
+    def __len__(self) -> int:
+        return len(self.sessions)
+
+
+def generate_workload(
+    scenario: Scenario,
+    count: int,
+    seed: int = 0,
+    latent_target: Optional[int] = None,
+    threshold_ms: float = RTT_THRESHOLD_MS,
+) -> SessionWorkload:
+    """Generate ``count`` random sessions between distinct hosts.
+
+    When ``latent_target`` is given, generation continues past ``count``
+    until at least that many latent sessions exist (or a hard cap is
+    hit) — convenient for experiments that only study latent sessions.
+    """
+    if count < 1:
+        raise EvaluationError("count must be >= 1")
+    rng = derive_rng(seed, "workload")
+    matrices = scenario.matrices
+    clusters = scenario.clusters
+
+    # Only *online* peers can appear in sessions.  A host whose cluster
+    # cannot reach most of the network (stub behind a failed provider) is
+    # effectively offline — the paper's crawler would never have collected
+    # it, and King would get no answers for it.
+    finite_fraction = np.mean(np.isfinite(matrices.rtt_ms), axis=1)
+    online_clusters = {
+        i for i in range(matrices.count) if finite_fraction[i] >= 0.5
+    }
+    hosts = [
+        h
+        for h in scenario.population.hosts
+        if matrices.index_of[clusters.cluster_of(h.ip).prefix] in online_clusters
+    ]
+    if len(hosts) < 2:
+        raise EvaluationError("population too small for sessions")
+
+    workload = SessionWorkload()
+    latent_found = 0
+    cap = count * 50
+    generated = 0
+    while generated < count or (latent_target is not None and latent_found < latent_target):
+        if generated >= cap:
+            break
+        i, j = rng.choice(len(hosts), size=2, replace=False)
+        caller, callee = hosts[int(i)], hosts[int(j)]
+        ca = matrices.index_of[clusters.cluster_of(caller.ip).prefix]
+        cb = matrices.index_of[clusters.cluster_of(callee.ip).prefix]
+        direct = float(matrices.rtt_ms[ca, cb])
+        session = Session(
+            session_id=generated,
+            caller=caller.ip,
+            callee=callee.ip,
+            caller_cluster=ca,
+            callee_cluster=cb,
+            direct_rtt_ms=direct,
+        )
+        workload.sessions.append(session)
+        generated += 1
+        if session.is_latent:
+            latent_found += 1
+    return workload

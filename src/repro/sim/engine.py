@@ -1,0 +1,103 @@
+"""Event queue and simulated clock.
+
+Events execute in (time, insertion order) — ties break FIFO so runs are
+deterministic.  Time is in simulated milliseconds throughout the library
+(latencies are natively in ms; seconds-scale results convert at the
+edges).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class SimulationError(ReproError):
+    """The simulator was driven incorrectly (e.g. scheduling in the past)."""
+
+
+@dataclass(frozen=True)
+class Event:
+    """A scheduled callback; compare by (time, seq) for heap ordering."""
+
+    time_ms: float
+    seq: int
+    action: Callable[[], Any] = field(compare=False)
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time_ms, self.seq) < (other.time_ms, other.seq)
+
+
+class Simulator:
+    """A single-threaded discrete-event simulator."""
+
+    def __init__(self) -> None:
+        self._now_ms = 0.0
+        self._queue: List[Event] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now_ms(self) -> float:
+        """Current simulated time in milliseconds."""
+        return self._now_ms
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    def schedule(self, delay_ms: float, action: Callable[[], Any]) -> Event:
+        """Schedule ``action`` to run ``delay_ms`` from now."""
+        if delay_ms < 0:
+            raise SimulationError(f"cannot schedule into the past (delay {delay_ms})")
+        event = Event(time_ms=self._now_ms + delay_ms, seq=next(self._seq), action=action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(self, time_ms: float, action: Callable[[], Any]) -> Event:
+        """Schedule ``action`` at an absolute simulated time."""
+        if time_ms < self._now_ms:
+            raise SimulationError(
+                f"cannot schedule at {time_ms} before now ({self._now_ms})"
+            )
+        event = Event(time_ms=time_ms, seq=next(self._seq), action=action)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        if not self._queue:
+            return False
+        event = heapq.heappop(self._queue)
+        self._now_ms = event.time_ms
+        event.action()
+        self._processed += 1
+        return True
+
+    def run(self, until_ms: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Drain the queue, optionally bounded by time and/or event count.
+
+        Returns the number of events executed by this call.  When
+        ``until_ms`` is given, the clock is advanced to exactly
+        ``until_ms`` at the end even if the queue drained earlier.
+        """
+        executed = 0
+        while self._queue:
+            if until_ms is not None and self._queue[0].time_ms > until_ms:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            self.step()
+            executed += 1
+        if until_ms is not None and self._now_ms < until_ms:
+            self._now_ms = until_ms
+        return executed

@@ -1,0 +1,90 @@
+"""Simulated network: host-to-host message delivery over the latency model.
+
+Control-plane messages are delivered after the one-way delay of the
+direct policy path between the two hosts; messages to unreachable hosts
+are silently dropped (like UDP into a failed AS).  Per-category message
+counters feed the overhead metric (paper Fig. 18).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.measurement.latency import LatencyModel
+from repro.netaddr import IPv4Address
+from repro.sim.engine import Simulator
+from repro.topology.population import Host
+
+
+@dataclass(frozen=True)
+class Message:
+    """A control-plane message in flight."""
+
+    src: IPv4Address
+    dst: IPv4Address
+    category: str
+    payload: Any = None
+
+
+Handler = Callable[[Message], None]
+
+
+class SimNetwork:
+    """Delivers messages between registered hosts through the simulator."""
+
+    def __init__(self, sim: Simulator, latency: LatencyModel) -> None:
+        self._sim = sim
+        self._latency = latency
+        self._hosts: Dict[IPv4Address, Host] = {}
+        self._handlers: Dict[IPv4Address, Handler] = {}
+        self.sent_by_category: Counter = Counter()
+        self.dropped = 0
+
+    @property
+    def total_sent(self) -> int:
+        return sum(self.sent_by_category.values())
+
+    def register(self, host: Host, handler: Handler) -> None:
+        """Attach a host with its message handler."""
+        self._hosts[host.ip] = host
+        self._handlers[host.ip] = handler
+
+    def is_registered(self, ip: IPv4Address) -> bool:
+        return ip in self._hosts
+
+    def send(
+        self,
+        src: Host,
+        dst_ip: IPv4Address,
+        category: str,
+        payload: Any = None,
+    ) -> bool:
+        """Send a message; returns False if it was dropped immediately.
+
+        Every send is counted (overhead is measured at the sender, like
+        the paper counting probe traffic), but delivery requires the
+        destination to be registered and reachable.
+        """
+        self.sent_by_category[category] += 1
+        dst = self._hosts.get(dst_ip)
+        handler = self._handlers.get(dst_ip)
+        if dst is None or handler is None:
+            self.dropped += 1
+            return False
+        rtt = self._latency.host_rtt_ms(src, dst)
+        if rtt is None:
+            self.dropped += 1
+            return False
+        message = Message(src=src.ip, dst=dst_ip, category=category, payload=payload)
+        self._sim.schedule(rtt / 2.0, lambda: handler(message))
+        return True
+
+    def one_way_ms(self, a: Host, b: Host) -> Optional[float]:
+        """One-way delay between two registered hosts (None if unreachable)."""
+        rtt = self._latency.host_rtt_ms(a, b)
+        return None if rtt is None else rtt / 2.0
+
+    def host(self, ip: IPv4Address) -> Optional[Host]:
+        return self._hosts.get(ip)

@@ -1,0 +1,39 @@
+"""Skype measurement study (paper Section 5), reproduced in simulation.
+
+The paper captures 14 real Skype sessions and exposes four limits of
+Skype's relay selection.  Those limits are behavioural consequences of a
+policy — AS-unaware probing of random supernodes with greedy switching —
+so this package implements that policy over the same latency substrate
+ASAP runs on:
+
+- :mod:`repro.skype.supernode` — the supernode overlay and the
+  per-direction probe/switch state machine;
+- :mod:`repro.skype.session` — DES session runner emitting pcap-style
+  :class:`~repro.sim.trace.SessionTrace` records at both endpoints;
+- :mod:`repro.skype.analyzer` — the trace analyzer: major paths,
+  asymmetric sessions, stabilization time (Limit 3), probe counts
+  (Limit 4), same-AS probes (Limit 2) and relay path RTT estimates
+  (Limit 1).
+"""
+
+from repro.skype.supernode import SkypeConfig, SupernodeOverlay
+from repro.skype.session import SkypeSessionResult, run_skype_session
+from repro.skype.analyzer import (
+    DirectionAnalysis,
+    SessionAnalysis,
+    TraceAnalyzer,
+)
+from repro.skype.limits import LimitReport, LimitThresholds, detect_limits
+
+__all__ = [
+    "DirectionAnalysis",
+    "LimitReport",
+    "LimitThresholds",
+    "SessionAnalysis",
+    "SkypeConfig",
+    "SkypeSessionResult",
+    "SupernodeOverlay",
+    "TraceAnalyzer",
+    "detect_limits",
+    "run_skype_session",
+]

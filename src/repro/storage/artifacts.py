@@ -1,0 +1,137 @@
+"""Binary/tabular artifact persistence: matrices and experiment records.
+
+- Delegate matrices round-trip through ``.npz`` (prefixes stored as
+  strings, arrays natively) so a measured dataset can be reused across
+  runs, like the paper replaying its King measurements.
+- Per-session method records round-trip through CSV (external analysis)
+  and export to JSON (structured archives).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import List, Sequence, Union
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.evaluation.metrics import MethodRecord
+from repro.measurement.matrix import DelegateMatrices
+from repro.netaddr import IPv4Prefix
+
+PathLike = Union[str, Path]
+
+_MATRIX_FORMAT_VERSION = 1
+
+
+def save_matrices(path: PathLike, matrices: DelegateMatrices) -> None:
+    """Serialize delegate matrices to a ``.npz`` archive."""
+    np.savez_compressed(
+        Path(path),
+        version=np.array([_MATRIX_FORMAT_VERSION]),
+        prefixes=np.array([str(p) for p in matrices.prefixes]),
+        asn_of=matrices.asn_of,
+        sizes=matrices.sizes,
+        rtt_ms=matrices.rtt_ms,
+        loss=matrices.loss,
+        as_hops=matrices.as_hops,
+    )
+
+
+def load_matrices(path: PathLike) -> DelegateMatrices:
+    """Load delegate matrices saved by :func:`save_matrices`."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        version = int(archive["version"][0])
+        if version != _MATRIX_FORMAT_VERSION:
+            raise ReproError(f"unsupported matrix archive version {version}")
+        prefixes = [IPv4Prefix.from_string(str(p)) for p in archive["prefixes"]]
+        return DelegateMatrices(
+            prefixes=prefixes,
+            index_of={p: i for i, p in enumerate(prefixes)},
+            asn_of=archive["asn_of"].copy(),
+            sizes=archive["sizes"].copy(),
+            rtt_ms=archive["rtt_ms"].copy(),
+            loss=archive["loss"].copy(),
+            as_hops=archive["as_hops"].copy(),
+        )
+
+
+_CSV_FIELDS = (
+    "method",
+    "session_id",
+    "quality_paths",
+    "best_rtt_ms",
+    "highest_mos",
+    "messages",
+    "one_hop_quality_paths",
+)
+
+
+def save_records_csv(path: PathLike, records: Sequence[MethodRecord]) -> int:
+    """Write method records to CSV; returns the row count."""
+    with Path(path).open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=_CSV_FIELDS)
+        writer.writeheader()
+        for record in records:
+            writer.writerow(
+                {
+                    "method": record.method,
+                    "session_id": record.session_id,
+                    "quality_paths": record.quality_paths,
+                    "best_rtt_ms": "" if record.best_rtt_ms is None else record.best_rtt_ms,
+                    "highest_mos": "" if record.highest_mos is None else record.highest_mos,
+                    "messages": record.messages,
+                    "one_hop_quality_paths": (
+                        "" if record.one_hop_quality_paths is None
+                        else record.one_hop_quality_paths
+                    ),
+                }
+            )
+    return len(records)
+
+
+def load_records_csv(path: PathLike) -> List[MethodRecord]:
+    """Read method records written by :func:`save_records_csv`."""
+    records: List[MethodRecord] = []
+    with Path(path).open(newline="", encoding="utf-8") as handle:
+        reader = csv.DictReader(handle)
+        missing = set(_CSV_FIELDS) - set(reader.fieldnames or ())
+        if missing:
+            raise ReproError(f"records CSV missing columns: {sorted(missing)}")
+        for row in reader:
+            records.append(
+                MethodRecord(
+                    method=row["method"],
+                    session_id=int(row["session_id"]),
+                    quality_paths=int(row["quality_paths"]),
+                    best_rtt_ms=float(row["best_rtt_ms"]) if row["best_rtt_ms"] else None,
+                    highest_mos=float(row["highest_mos"]) if row["highest_mos"] else None,
+                    messages=int(row["messages"]),
+                    one_hop_quality_paths=(
+                        int(row["one_hop_quality_paths"])
+                        if row["one_hop_quality_paths"]
+                        else None
+                    ),
+                )
+            )
+    return records
+
+
+def save_records_json(path: PathLike, records: Sequence[MethodRecord]) -> int:
+    """Write method records as a JSON array; returns the row count."""
+    payload = [
+        {
+            "method": r.method,
+            "session_id": r.session_id,
+            "quality_paths": r.quality_paths,
+            "best_rtt_ms": r.best_rtt_ms,
+            "highest_mos": r.highest_mos,
+            "messages": r.messages,
+            "one_hop_quality_paths": r.one_hop_quality_paths,
+        }
+        for r in records
+    ]
+    Path(path).write_text(json.dumps(payload, indent=2), encoding="utf-8")
+    return len(records)

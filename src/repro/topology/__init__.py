@@ -1,0 +1,59 @@
+"""Synthetic Internet topology generation.
+
+The paper's substrate is the 2005-09-26 RouteViews/RIPE/CERNET snapshot
+(20,955 ASes / 56,907 links) plus 269k crawled Gnutella peer IPs.  Neither
+is shippable here, so this package generates Internet-*like* inputs with
+the structural properties the paper's results depend on:
+
+- a tiered, heavy-tailed AS topology with provider-customer, peer-peer and
+  sibling annotations, including multi-homed stubs (Fig. 4's shortcut case);
+- geographic AS placement so link latency correlates with distance and AS
+  hop count correlates with path latency (paper property 3);
+- per-AS prefix allocations announced through a synthetic BGP feed; and
+- a heavy-tailed peer population (90% of prefix clusters hold ≤ 100 online
+  hosts — Section 6.3).
+
+Everything downstream (RIB parsing, Gao inference, clustering, routing)
+consumes these inputs through the same code paths real data would take.
+"""
+
+from repro.topology.generator import TopologyConfig, Topology, generate_topology
+from repro.topology.geography import Geography
+from repro.topology.prefixes import PrefixAllocator, PrefixAllocation, allocate_prefixes
+from repro.topology.population import (
+    Host,
+    NodalInfo,
+    PeerPopulation,
+    PopulationConfig,
+    generate_population,
+)
+from repro.topology.clustering import Cluster, ClusterIndex, build_clusters
+from repro.topology.bgpfeed import generate_rib_entries, generate_update_stream
+from repro.topology.models import generate_barabasi_albert, generate_waxman
+from repro.topology.prefixes import allocate_prefixes_hierarchical
+from repro.topology.validation import validate_latency, validate_topology
+
+__all__ = [
+    "Cluster",
+    "ClusterIndex",
+    "Geography",
+    "Host",
+    "NodalInfo",
+    "PeerPopulation",
+    "PopulationConfig",
+    "PrefixAllocation",
+    "PrefixAllocator",
+    "Topology",
+    "TopologyConfig",
+    "allocate_prefixes",
+    "allocate_prefixes_hierarchical",
+    "build_clusters",
+    "generate_barabasi_albert",
+    "generate_population",
+    "generate_rib_entries",
+    "generate_topology",
+    "generate_update_stream",
+    "generate_waxman",
+    "validate_latency",
+    "validate_topology",
+]

@@ -1,0 +1,83 @@
+"""Geographic placement of ASes and distance→propagation-delay conversion.
+
+ASes live on a cylinder: x wraps around (longitude-like, circumference
+``width_km``), y is clamped (latitude-like, height ``height_km``).  Tier-1
+ASes scatter globally; lower tiers are placed near a provider, which makes
+customer cones geographically coherent the way real regional ISPs are.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import TopologyError
+
+# Speed of light in fiber is ~200,000 km/s → 0.005 ms per km one-way.
+MS_PER_KM = 0.005
+# Extra router-level stretch over the inter-AS geodesic.  Kept at 1.0:
+# policy routing already walks link-by-link through intermediate ASes, so
+# the AS-level zigzag supplies the real-world path stretch by itself.
+PATH_STRETCH = 1.0
+
+
+@dataclass
+class Geography:
+    """AS coordinates on a (wrapping-x, clamped-y) plane, in kilometres."""
+
+    width_km: float = 20000.0
+    height_km: float = 7000.0
+    coords: Dict[int, Tuple[float, float]] = field(default_factory=dict)
+
+    def place(self, asn: int, x: float, y: float) -> None:
+        """Place an AS at (x, y); x wraps, y clamps to the map."""
+        self.coords[asn] = (x % self.width_km, min(max(y, 0.0), self.height_km))
+
+    def place_near(
+        self,
+        asn: int,
+        anchor: int,
+        rng: np.random.Generator,
+        spread_km: float,
+    ) -> None:
+        """Place an AS within a Gaussian cloud around an existing AS."""
+        if anchor not in self.coords:
+            raise TopologyError(f"anchor AS {anchor} has no coordinates")
+        ax, ay = self.coords[anchor]
+        self.place(
+            asn,
+            ax + float(rng.normal(0.0, spread_km)),
+            ay + float(rng.normal(0.0, spread_km)),
+        )
+
+    def place_random(self, asn: int, rng: np.random.Generator) -> None:
+        """Place an AS uniformly at random on the map."""
+        self.place(
+            asn,
+            float(rng.uniform(0.0, self.width_km)),
+            float(rng.uniform(0.0, self.height_km)),
+        )
+
+    def distance_km(self, a: int, b: int) -> float:
+        """Shortest distance between two ASes, accounting for x wraparound."""
+        if a not in self.coords or b not in self.coords:
+            raise TopologyError(f"AS without coordinates in pair ({a}, {b})")
+        ax, ay = self.coords[a]
+        bx, by = self.coords[b]
+        dx = abs(ax - bx)
+        dx = min(dx, self.width_km - dx)
+        dy = ay - by
+        return math.hypot(dx, dy)
+
+    def propagation_delay_ms(self, a: int, b: int) -> float:
+        """One-way propagation delay of a direct link between two ASes."""
+        return self.distance_km(a, b) * MS_PER_KM * PATH_STRETCH
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self.coords
+
+    def __len__(self) -> int:
+        return len(self.coords)

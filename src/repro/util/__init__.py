@@ -1,0 +1,20 @@
+"""Shared utilities: deterministic RNG plumbing and distribution helpers."""
+
+from repro.util.rng import derive_rng, spawn_rngs
+from repro.util.stats import (
+    ccdf_points,
+    cdf_points,
+    percentile,
+    summarize,
+    DistributionSummary,
+)
+
+__all__ = [
+    "DistributionSummary",
+    "ccdf_points",
+    "cdf_points",
+    "derive_rng",
+    "percentile",
+    "spawn_rngs",
+    "summarize",
+]

@@ -1,0 +1,32 @@
+"""VoIP quality modelling: codecs, the ITU-T E-model, and MOS.
+
+The paper scores relay paths with the ITU E-model: fix the codec
+(G.729A+VAD), feed in the path's one-way delay and packet loss rate, and
+read off MOS.  Quality requirements: RTT below 300 ms (one-way 150 ms,
+ITU G.114) and MOS above 3.6.
+"""
+
+from repro.voip.codecs import Codec, G711, G723_1, G729, G729A_VAD
+from repro.voip.emodel import EModel, EModelConfig
+from repro.voip.quality import (
+    MOS_THRESHOLD,
+    RTT_THRESHOLD_MS,
+    is_quality_mos,
+    is_quality_rtt,
+    mos_of_path,
+)
+
+__all__ = [
+    "Codec",
+    "EModel",
+    "EModelConfig",
+    "G711",
+    "G723_1",
+    "G729",
+    "G729A_VAD",
+    "MOS_THRESHOLD",
+    "RTT_THRESHOLD_MS",
+    "is_quality_mos",
+    "is_quality_rtt",
+    "mos_of_path",
+]

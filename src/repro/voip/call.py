@@ -1,0 +1,298 @@
+"""Voice-call runtime: path switching and path diversity over ASAP relays.
+
+Section 6.2 of the paper: "Techniques such as path diversity ([15, 19])
+and path switching [20] can be used in combination with ASAP to
+transmit voice packets."  This module implements both on top of the
+relay candidates select-close-relay returns:
+
+- **path switching** [Tao et al.]: monitor the active path's quality in
+  windows; when its windowed MOS falls below a threshold, switch to the
+  best alternate candidate;
+- **path diversity** [Liang et al.]: transmit every packet over the two
+  best candidate paths and keep the earlier surviving copy.
+
+Paths degrade over time through an on/off congestion process
+(:class:`PathQualityProcess`), so a call that starts on a good relay
+can sour mid-call — the scenario switching exists for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.util.rng import derive_rng
+from repro.voip.codecs import Codec, G729A_VAD
+from repro.voip.stream import (
+    PacketArrival,
+    PlayoutBuffer,
+    StreamConfig,
+    merge_diverse_arrivals,
+    score_playout,
+    simulate_stream,
+)
+
+
+@dataclass(frozen=True)
+class PathState:
+    """Quality of one candidate path during one time window."""
+
+    one_way_delay_ms: float
+    loss_rate: float
+
+
+class PathQualityProcess:
+    """Two-state (clear/congested) Markov process per path, per window.
+
+    In the congested state the path gains extra one-way delay and loss.
+    Transitions are sampled independently per window with the given
+    probabilities, seeded deterministically per path.
+    """
+
+    def __init__(
+        self,
+        base_one_way_ms: float,
+        base_loss: float,
+        congest_probability: float = 0.05,
+        recover_probability: float = 0.5,
+        congestion_delay_ms: float = 120.0,
+        congestion_loss: float = 0.05,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= congest_probability <= 1.0 or not 0.0 <= recover_probability <= 1.0:
+            raise ConfigurationError("transition probabilities must be in [0, 1]")
+        if base_one_way_ms < 0 or congestion_delay_ms < 0:
+            raise ConfigurationError("delays must be non-negative")
+        self._base_delay = base_one_way_ms
+        self._base_loss = min(max(base_loss, 0.0), 1.0)
+        self._p_congest = congest_probability
+        self._p_recover = recover_probability
+        self._extra_delay = congestion_delay_ms
+        self._extra_loss = congestion_loss
+        self._rng = derive_rng(seed, "path-quality")
+        self._congested = False
+
+    def step(self) -> PathState:
+        """Advance one window and return the path's state for it."""
+        if self._congested:
+            if self._rng.random() < self._p_recover:
+                self._congested = False
+        else:
+            if self._rng.random() < self._p_congest:
+                self._congested = True
+        if self._congested:
+            return PathState(
+                one_way_delay_ms=self._base_delay + self._extra_delay,
+                loss_rate=min(self._base_loss + self._extra_loss, 1.0),
+            )
+        return PathState(one_way_delay_ms=self._base_delay, loss_rate=self._base_loss)
+
+
+@dataclass(frozen=True)
+class CallConfig:
+    """Knobs of the call runtime."""
+
+    codec: Codec = G729A_VAD
+    window_ms: float = 2_000.0
+    windows: int = 30
+    playout_depth_ms: float = 40.0
+    # Path switching: switch when the active window's MOS dips below.
+    switch_mos_threshold: float = 3.2
+    use_switching: bool = True
+    use_diversity: bool = False
+    # FEC over the secondary path [Nguyen & Zakhor]: one XOR parity per
+    # ``fec_group_size`` voice packets; mutually exclusive with full
+    # duplication (use_diversity).
+    use_fec: bool = False
+    fec_group_size: int = 4
+    jitter_mean_ms: float = 6.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.window_ms <= 0 or self.windows < 1:
+            raise ConfigurationError("window_ms and windows must be positive")
+        if not 1.0 <= self.switch_mos_threshold <= 4.5:
+            raise ConfigurationError("switch_mos_threshold must be a MOS value")
+        if self.use_fec and self.use_diversity:
+            raise ConfigurationError("use_fec and use_diversity are exclusive")
+        if self.fec_group_size < 2:
+            raise ConfigurationError("fec_group_size must be >= 2")
+
+
+@dataclass
+class WindowOutcome:
+    """Per-window record of a running call."""
+
+    window: int
+    active_path: int
+    mos: float
+    switched: bool
+    effective_loss: float
+    mouth_to_ear_ms: float
+
+
+@dataclass
+class CallOutcome:
+    """Full result of one simulated call."""
+
+    windows: List[WindowOutcome] = field(default_factory=list)
+
+    @property
+    def mean_mos(self) -> float:
+        return float(np.mean([w.mos for w in self.windows])) if self.windows else 1.0
+
+    @property
+    def min_mos(self) -> float:
+        return float(min((w.mos for w in self.windows), default=1.0))
+
+    @property
+    def switches(self) -> int:
+        return sum(1 for w in self.windows if w.switched)
+
+    @property
+    def satisfied_fraction(self) -> float:
+        """Fraction of call time above the 3.6 MOS satisfaction bound."""
+        if not self.windows:
+            return 0.0
+        return float(np.mean([w.mos > 3.6 for w in self.windows]))
+
+
+class VoiceCall:
+    """One call over a ranked list of candidate paths.
+
+    ``paths`` supplies (one-way delay ms, loss rate) per candidate, best
+    first — in practice the relay paths select-close-relay returned,
+    each wrapped in a :class:`PathQualityProcess` for dynamics.
+    """
+
+    def __init__(
+        self,
+        paths: Sequence[PathQualityProcess],
+        config: CallConfig = CallConfig(),
+    ) -> None:
+        if not paths:
+            raise ConfigurationError("a call needs at least one candidate path")
+        self._paths = list(paths)
+        self._config = config
+        self._rng = derive_rng(config.seed, "voice-call")
+
+    def run(self) -> CallOutcome:
+        """Simulate the whole call window by window."""
+        config = self._config
+        outcome = CallOutcome()
+        active = 0
+        buffer = PlayoutBuffer(config.playout_depth_ms)
+        stream_config = StreamConfig(
+            codec=config.codec,
+            duration_ms=config.window_ms,
+            jitter_mean_ms=config.jitter_mean_ms,
+            seed=config.seed,
+        )
+        for window in range(config.windows):
+            states = [p.step() for p in self._paths]
+            arrivals = self._window_arrivals(states, active, stream_config)
+            played = buffer.play(arrivals, config.codec)
+            mos = score_playout(played, config.codec)
+            switched = False
+            if (
+                config.use_switching
+                and mos < config.switch_mos_threshold
+                and len(self._paths) > 1
+            ):
+                active = self._best_alternate(states, active)
+                switched = True
+            outcome.windows.append(
+                WindowOutcome(
+                    window=window,
+                    active_path=active,
+                    mos=mos,
+                    switched=switched,
+                    effective_loss=played.effective_loss,
+                    mouth_to_ear_ms=played.mouth_to_ear_ms,
+                )
+            )
+        return outcome
+
+    def _window_arrivals(
+        self,
+        states: Sequence[PathState],
+        active: int,
+        stream_config: StreamConfig,
+    ) -> List[PacketArrival]:
+        primary_state = states[active]
+        primary = simulate_stream(
+            primary_state.one_way_delay_ms,
+            primary_state.loss_rate,
+            stream_config,
+            rng=self._rng,
+        )
+        wants_secondary = self._config.use_diversity or self._config.use_fec
+        if not wants_secondary or len(states) < 2:
+            return primary
+        backup_index = self._best_alternate(states, active)
+        backup_state = states[backup_index]
+        if self._config.use_diversity:
+            backup = simulate_stream(
+                backup_state.one_way_delay_ms,
+                backup_state.loss_rate,
+                stream_config,
+                rng=self._rng,
+            )
+            return merge_diverse_arrivals(primary, backup)
+        from repro.voip.stream import apply_fec_recovery, make_parity_stream
+
+        parity = make_parity_stream(
+            backup_state.one_way_delay_ms,
+            backup_state.loss_rate,
+            len(primary),
+            group_size=self._config.fec_group_size,
+            config=stream_config,
+            rng=self._rng,
+        )
+        return apply_fec_recovery(primary, parity, self._config.fec_group_size)
+
+    def _best_alternate(self, states: Sequence[PathState], active: int) -> int:
+        """The non-active path with the best instantaneous quality."""
+        best_index = active
+        best_score = float("inf")
+        for index, state in enumerate(states):
+            if index == active:
+                continue
+            score = state.one_way_delay_ms + 2_000.0 * state.loss_rate
+            if score < best_score:
+                best_score = score
+                best_index = index
+        return best_index
+
+
+def call_paths_from_selection(
+    selection,
+    matrices,
+    caller_cluster: int,
+    callee_cluster: int,
+    max_paths: int = 4,
+    seed: int = 0,
+) -> List[PathQualityProcess]:
+    """Wrap a RelaySelection's best one-hop candidates (plus the direct
+    path) into quality processes for a :class:`VoiceCall`."""
+    candidates: List[Tuple[float, float]] = []
+    direct_rtt = float(matrices.rtt_ms[caller_cluster, callee_cluster])
+    if np.isfinite(direct_rtt):
+        candidates.append(
+            (direct_rtt / 2.0, float(matrices.loss[caller_cluster, callee_cluster]))
+        )
+    for cand in sorted(selection.one_hop, key=lambda c: c.relay_rtt_ms)[:max_paths]:
+        loss = matrices.one_hop_path_loss(caller_cluster, cand.cluster, callee_cluster)
+        candidates.append((cand.relay_rtt_ms / 2.0, loss))
+    candidates.sort(key=lambda c: c[0] + 2_000.0 * c[1])
+    return [
+        PathQualityProcess(
+            base_one_way_ms=delay,
+            base_loss=loss,
+            seed=seed + index,
+        )
+        for index, (delay, loss) in enumerate(candidates[:max_paths])
+    ]

@@ -1,0 +1,201 @@
+"""Unit + property tests for the BGP policy routing engine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TopologyError
+from repro.bgp import ASGraph, PolicyRouter, RouteClass
+from repro.topology import TopologyConfig, generate_topology
+
+
+def diamond():
+    g = ASGraph()
+    g.add_peer(1, 2)
+    g.add_provider_customer(1, 3)
+    g.add_provider_customer(2, 4)
+    g.add_provider_customer(3, 5)
+    g.add_provider_customer(4, 5)
+    return g
+
+
+class TestPolicyRoutesOnDiamond:
+    def test_customer_route_preferred(self):
+        router = PolicyRouter(diamond())
+        # 3's route to 5: learned from customer 5 directly.
+        route = router.route(3, 5)
+        assert route.route_class is RouteClass.CUSTOMER
+        assert route.as_path == (3, 5)
+
+    def test_origin_route(self):
+        router = PolicyRouter(diamond())
+        route = router.route(5, 5)
+        assert route.route_class is RouteClass.ORIGIN
+        assert route.as_path == (5,)
+
+    def test_provider_route_when_no_other(self):
+        router = PolicyRouter(diamond())
+        # 5's route to 1 must climb to a provider.
+        route = router.route(5, 1)
+        assert route.route_class is RouteClass.PROVIDER
+        assert route.as_path == (5, 3, 1)
+
+    def test_peer_route(self):
+        router = PolicyRouter(diamond())
+        # 1's route to 4: peer 2 has a customer route to 4.
+        route = router.route(1, 4)
+        assert route.route_class is RouteClass.PEER
+        assert route.as_path == (1, 2, 4)
+
+    def test_valley_free_guarantee(self):
+        g = diamond()
+        router = PolicyRouter(g)
+        # 3's route to 4 cannot be the valley 3-5-4.
+        route = router.route(3, 4)
+        assert route.as_path == (3, 1, 2, 4)
+        assert g.is_valley_free(route.as_path)
+
+    def test_customer_preference_beats_shorter_provider_path(self):
+        # 10 provides for 11; 11 provides for 12.  10 also peers with 12's
+        # other provider 13.  11's route to 12 must use the customer edge
+        # even if an alternative existed.
+        g = ASGraph()
+        g.add_provider_customer(10, 11)
+        g.add_provider_customer(11, 12)
+        g.add_provider_customer(13, 12)
+        g.add_peer(10, 13)
+        router = PolicyRouter(g)
+        route = router.route(11, 12)
+        assert route.route_class is RouteClass.CUSTOMER
+        assert route.as_path == (11, 12)
+
+    def test_no_export_of_peer_routes_to_peers(self):
+        # 1-peer-2, 2-peer-3 only: 1 must NOT reach 3 through 2 because 2
+        # does not export a peer-learned route to its peer.
+        g = ASGraph()
+        g.add_peer(1, 2)
+        g.add_peer(2, 3)
+        router = PolicyRouter(g)
+        assert router.route(1, 3) is None
+
+    def test_customer_routes_exported_to_peers(self):
+        g = ASGraph()
+        g.add_peer(1, 2)
+        g.add_provider_customer(2, 3)
+        router = PolicyRouter(g)
+        route = router.route(1, 3)
+        assert route is not None
+        assert route.as_path == (1, 2, 3)
+
+    def test_unknown_as_raises(self):
+        router = PolicyRouter(diamond())
+        with pytest.raises(TopologyError):
+            router.route(99, 5)
+
+    def test_unreachable_returns_none(self):
+        g = diamond()
+        g.add_as(42)
+        router = PolicyRouter(g)
+        assert router.route(42, 5) is None
+        assert router.route(5, 42) is None
+
+    def test_cache_hit_returns_same_tree(self):
+        router = PolicyRouter(diamond(), cache_size=2)
+        t1 = router.tree(5)
+        t2 = router.tree(5)
+        assert t1 is t2
+
+    def test_cache_eviction(self):
+        router = PolicyRouter(diamond(), cache_size=1)
+        t1 = router.tree(5)
+        router.tree(4)
+        t3 = router.tree(5)
+        assert t1 is not t3
+        assert t1.next_hop == t3.next_hop
+
+    def test_invalidate_clears_cache(self):
+        router = PolicyRouter(diamond())
+        t1 = router.tree(5)
+        router.invalidate()
+        assert router.tree(5) is not t1
+
+    def test_sibling_transit(self):
+        # 1 provides for 2; 2 sibling 3: 1 should reach 3 through 2.
+        g = ASGraph()
+        g.add_provider_customer(1, 2)
+        g.add_sibling(2, 3)
+        router = PolicyRouter(g)
+        route = router.route(1, 3)
+        assert route is not None
+        assert route.as_path == (1, 2, 3)
+
+
+class TestPolicyRoutesOnGeneratedTopologies:
+    @given(st.integers(min_value=0, max_value=12))
+    @settings(max_examples=12, deadline=None)
+    def test_all_selected_paths_are_valley_free(self, seed):
+        topo = generate_topology(
+            TopologyConfig(tier1_count=3, tier2_count=8, tier3_count=25, seed=seed)
+        )
+        router = PolicyRouter(topo.graph)
+        ases = topo.graph.ases()
+        # Sample destinations; every selected route must be valley-free
+        # and terminate at the destination.
+        for dst in ases[:: max(1, len(ases) // 6)]:
+            tree = router.tree(dst)
+            for src in ases[:: max(1, len(ases) // 10)]:
+                path = tree.path_from(src)
+                if path is None:
+                    continue
+                assert path[0] == src and path[-1] == dst
+                assert len(set(path)) == len(path), "selected path has a loop"
+                assert topo.graph.is_valley_free(path)
+
+    @given(st.integers(min_value=0, max_value=12))
+    @settings(max_examples=8, deadline=None)
+    def test_stub_pairs_are_reachable(self, seed):
+        # With every non-tier-1 AS having a provider, any two stubs can
+        # reach each other via the core.
+        topo = generate_topology(
+            TopologyConfig(tier1_count=3, tier2_count=8, tier3_count=25, seed=seed)
+        )
+        router = PolicyRouter(topo.graph)
+        stubs = topo.stub_ases()[:8]
+        for i, a in enumerate(stubs):
+            for b in stubs[i + 1:]:
+                assert router.route(a, b) is not None
+
+    def test_route_distance_matches_path_length(self):
+        topo = generate_topology(
+            TopologyConfig(tier1_count=3, tier2_count=8, tier3_count=25, seed=5)
+        )
+        router = PolicyRouter(topo.graph)
+        stubs = topo.stub_ases()
+        dst = stubs[0]
+        tree = router.tree(dst)
+        for src in stubs[1:10]:
+            path = tree.path_from(src)
+            assert path is not None
+            assert len(path) - 1 == tree.distance[src]
+
+
+class TestReachableFraction:
+    def test_fully_reachable_diamond(self):
+        from repro.bgp.routing import reachable_pairs_fraction
+
+        router = PolicyRouter(diamond())
+        pairs = [(3, 4), (5, 1), (1, 5)]
+        assert reachable_pairs_fraction(router, pairs) == 1.0
+
+    def test_counts_unreachable(self):
+        from repro.bgp.routing import reachable_pairs_fraction
+
+        g = diamond()
+        g.add_as(42)
+        router = PolicyRouter(g)
+        assert reachable_pairs_fraction(router, [(3, 4), (42, 5)]) == 0.5
+
+    def test_empty_sample(self):
+        from repro.bgp.routing import reachable_pairs_fraction
+
+        assert reachable_pairs_fraction(PolicyRouter(diamond()), []) == 1.0

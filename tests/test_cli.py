@@ -1,0 +1,88 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main, make_parser
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["bogus"])
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            make_parser().parse_args(["section3", "--scale", "huge"])
+
+
+class TestCommands:
+    def test_generate_writes_artifacts(self, tmp_path, capsys):
+        rc = main(["generate", "--scale", "tiny", "--seed", "2",
+                   "--output", str(tmp_path / "out")])
+        assert rc == 0
+        out_dir = tmp_path / "out"
+        assert (out_dir / "rib.dump").exists()
+        assert (out_dir / "updates.log").exists()
+        assert (out_dir / "matrices.npz").exists()
+        assert "wrote" in capsys.readouterr().out
+
+    def test_generated_artifacts_load_back(self, tmp_path):
+        main(["generate", "--scale", "tiny", "--seed", "2",
+              "--output", str(tmp_path)])
+        from repro.storage import load_matrices, read_rib_file
+
+        entries = read_rib_file(tmp_path / "rib.dump")
+        matrices = load_matrices(tmp_path / "matrices.npz")
+        assert entries
+        assert matrices.count > 0
+
+    def test_section3(self, capsys):
+        rc = main(["section3", "--scale", "tiny", "--seed", "11",
+                   "--sessions", "300"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "direct" in out and "latent" in out
+
+    def test_section7_with_records(self, tmp_path, capsys):
+        records = tmp_path / "records.csv"
+        rc = main(["section7", "--scale", "tiny", "--seed", "11",
+                   "--sessions", "300", "--latent", "8",
+                   "--records", str(records)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ASAP" in out and "OPT" in out
+        assert records.exists()
+        from repro.storage import load_records_csv
+
+        assert load_records_csv(records)
+
+    def test_call(self, capsys):
+        rc = main(["call", "--scale", "tiny", "--seed", "11"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "direct RTT" in out
+
+    def test_scalability(self, capsys):
+        rc = main(["scalability", "--scale", "tiny", "--seed", "11",
+                   "--sessions", "300", "--latent", "6"])
+        assert rc == 0
+        assert "scalability error" in capsys.readouterr().out
+
+
+class TestExtendedCommands:
+    def test_limits(self, capsys):
+        rc = main(["limits", "--scale", "tiny", "--seed", "11", "--sessions", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "detected Skype limits" in out
+
+    def test_robustness(self, capsys):
+        rc = main(["robustness", "--seed", "11", "--worlds", "1",
+                   "--sessions", "300"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "aggregate:" in out

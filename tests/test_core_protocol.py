@@ -1,0 +1,176 @@
+"""Integration tests for the assembled ASAP system."""
+
+import numpy as np
+import pytest
+
+from repro.core import ASAPConfig, ASAPSystem
+from repro.core.config import derive_k_hops
+from repro.errors import ConfigurationError, ProtocolError
+from repro.scenario import tiny_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return tiny_scenario(seed=5)
+
+
+@pytest.fixture(scope="module")
+def system(scenario):
+    return ASAPSystem(scenario, ASAPConfig(k_hops=derive_k_hops(scenario.matrices)))
+
+
+def latent_pair(scenario):
+    m = scenario.matrices
+    latent = np.argwhere(m.rtt_ms > 300)
+    for a, b in latent:
+        ca = scenario.clusters.all_clusters()[int(a)]
+        cb = scenario.clusters.all_clusters()[int(b)]
+        if ca.hosts and cb.hosts:
+            return ca.hosts[0].ip, cb.hosts[0].ip
+    pytest.skip("no latent pair in tiny scenario")
+
+
+def good_pair(scenario):
+    m = scenario.matrices
+    good = np.argwhere(np.isfinite(m.rtt_ms) & (m.rtt_ms < 150))
+    for a, b in good:
+        if a == b:
+            continue
+        ca = scenario.clusters.all_clusters()[int(a)]
+        cb = scenario.clusters.all_clusters()[int(b)]
+        if ca.hosts and cb.hosts:
+            return ca.hosts[0].ip, cb.hosts[0].ip
+    pytest.skip("no good pair in tiny scenario")
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        config = ASAPConfig()
+        assert config.k_hops == 4
+        assert config.lat_threshold_ms == 300.0
+        assert config.size_threshold == 300
+        assert config.relay_delay_rtt_ms == 40.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ASAPConfig(k_hops=-1)
+        with pytest.raises(ConfigurationError):
+            ASAPConfig(lat_threshold_ms=0)
+        with pytest.raises(ConfigurationError):
+            ASAPConfig(loss_threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            ASAPConfig(bootstrap_count=0)
+
+    def test_derive_k_hops_in_bounds(self, scenario):
+        k = derive_k_hops(scenario.matrices)
+        assert 2 <= k <= 8
+
+
+class TestMembership:
+    def test_join_returns_correct_mapping(self, scenario, system):
+        host = scenario.population.hosts[0]
+        endhost = system.join(host.ip)
+        assert endhost.joined
+        assert endhost.join_info.asn == host.asn
+        assert endhost.join_info.prefix.contains(host.ip)
+
+    def test_join_registers_nodal_info(self, scenario, system):
+        host = scenario.population.hosts[1]
+        system.join(host.ip)
+        idx = system.cluster_of_ip(host.ip)
+        assert host.ip in system.surrogate(idx).published_info
+
+    def test_join_load_spreads_over_bootstraps(self, scenario):
+        fresh = ASAPSystem(scenario, ASAPConfig(bootstrap_count=3))
+        for host in scenario.population.hosts[:30]:
+            fresh.join(host.ip)
+        counts = [b.join_requests for b in fresh.bootstraps]
+        assert sum(counts) == 30
+        assert sum(1 for c in counts if c > 0) >= 2
+
+    def test_surrogate_is_most_capable(self, scenario, system):
+        cluster = max(scenario.clusters.all_clusters(), key=len)
+        idx = scenario.matrices.index_of[cluster.prefix]
+        surrogate = system.surrogate(idx)
+        assert surrogate.host.ip == cluster.most_capable_host().ip
+
+    def test_unknown_cluster_raises(self, system):
+        with pytest.raises(ProtocolError):
+            system.surrogate(10**6)
+
+
+class TestSurrogateFailover:
+    def test_failover_promotes_next_best(self, scenario):
+        fresh = ASAPSystem(scenario)
+        cluster = max(scenario.clusters.all_clusters(), key=len)
+        if len(cluster) < 2:
+            pytest.skip("no multi-host cluster")
+        idx = scenario.matrices.index_of[cluster.prefix]
+        old = fresh.surrogate(idx)
+        new = fresh.fail_surrogate(idx)
+        assert new.host.ip != old.host.ip
+        assert new.host in cluster.hosts
+        # Bootstraps updated.
+        for bootstrap in fresh.bootstraps:
+            assert bootstrap.surrogate_for(cluster.prefix) == new.host.ip
+
+    def test_failover_single_host_cluster_raises(self, scenario):
+        fresh = ASAPSystem(scenario)
+        single = next(
+            (c for c in scenario.clusters.all_clusters() if len(c) == 1), None
+        )
+        if single is None:
+            pytest.skip("no single-host cluster")
+        idx = scenario.matrices.index_of[single.prefix]
+        with pytest.raises(ProtocolError):
+            fresh.fail_surrogate(idx)
+
+
+class TestCalling:
+    def test_good_direct_path_needs_no_relay(self, scenario, system):
+        caller, callee = good_pair(scenario)
+        session = system.call(caller, callee)
+        assert not session.relay_needed
+        assert session.messages == 0
+        assert session.quality_paths == 0
+        assert session.best_path_rtt_ms == session.direct_rtt_ms
+
+    def test_latent_session_runs_selection(self, scenario, system):
+        caller, callee = latent_pair(scenario)
+        session = system.call(caller, callee)
+        assert session.relay_needed
+        assert session.selection is not None
+        assert session.messages >= 2
+
+    def test_latent_session_finds_quality_relay(self, scenario, system):
+        caller, callee = latent_pair(scenario)
+        session = system.call(caller, callee)
+        if session.best_relay_rtt_ms is None:
+            pytest.skip("tiny world: close sets may miss")
+        assert session.best_relay_rtt_ms < session.direct_rtt_ms
+        assert session.best_path_rtt_ms == session.best_relay_rtt_ms
+
+    def test_best_path_mos_in_range(self, scenario, system):
+        caller, callee = latent_pair(scenario)
+        session = system.call(caller, callee)
+        assert 1.0 <= session.best_path_mos() <= 4.5
+
+    def test_close_sets_cached_across_calls(self, scenario, system):
+        caller, callee = latent_pair(scenario)
+        idx = system.cluster_of_ip(caller)
+        first = system.surrogate(idx).close_set()
+        system.call(caller, callee)
+        assert system.surrogate(idx).close_set() is first
+
+    def test_maintenance_messages_accounted(self, scenario, system):
+        caller, callee = latent_pair(scenario)
+        system.call(caller, callee)
+        assert system.maintenance_messages() > 0
+
+    def test_relay_entries_respect_threshold(self, scenario, system):
+        caller, callee = latent_pair(scenario)
+        session = system.call(caller, callee)
+        for candidate in session.selection.one_hop:
+            assert candidate.relay_rtt_ms < system.config.lat_threshold_ms
+        for candidate in session.selection.two_hop:
+            assert candidate.relay_rtt_ms < system.config.lat_threshold_ms

@@ -1,0 +1,150 @@
+"""Tests for select-close-relay (paper Fig. 10)."""
+
+import pytest
+
+from repro.core import ASAPConfig, select_close_relay
+from repro.core.close_cluster import CloseClusterEntry, CloseClusterSet
+
+
+def close_set(owner, rtts):
+    """Build a CloseClusterSet from {cluster: rtt}."""
+    cs = CloseClusterSet(owner=owner)
+    for cluster, rtt in rtts.items():
+        cs.entries[cluster] = CloseClusterEntry(cluster, rtt, 0.0, 1)
+    return cs
+
+
+def sizes(mapping):
+    return lambda idx: mapping.get(idx, 1)
+
+
+def no_two_hop(idx):
+    raise AssertionError("two-hop expansion should not run")
+
+
+class TestOneHop:
+    def test_intersection_with_threshold(self):
+        s1 = close_set(0, {10: 100.0, 11: 100.0, 12: 280.0})
+        s2 = close_set(1, {10: 100.0, 12: 100.0, 13: 50.0})
+        config = ASAPConfig(size_threshold=0)  # no two-hop
+        result = select_close_relay(s1, s2, sizes({10: 5, 12: 3}), no_two_hop, config)
+        clusters = {c.cluster for c in result.one_hop}
+        # 10: 100+100+40=240 ✓; 12: 280+100+40=420 ✗; 11/13 not common.
+        assert clusters == {10}
+        assert result.one_hop_ips == 5
+        assert result.quality_paths == 5
+
+    def test_two_messages_for_one_hop(self):
+        s1 = close_set(0, {10: 100.0})
+        s2 = close_set(1, {10: 100.0})
+        result = select_close_relay(
+            s1, s2, sizes({10: 400}), no_two_hop, ASAPConfig(size_threshold=300)
+        )
+        assert result.messages == 2
+        assert result.two_hop_queries == 0
+
+    def test_relay_rtt_computation(self):
+        s1 = close_set(0, {10: 120.0})
+        s2 = close_set(1, {10: 90.0})
+        result = select_close_relay(
+            s1, s2, sizes({}), no_two_hop, ASAPConfig(size_threshold=0)
+        )
+        assert result.one_hop[0].relay_rtt_ms == pytest.approx(120.0 + 90.0 + 40.0)
+
+    def test_empty_intersection_no_one_hop(self):
+        s1 = close_set(0, {10: 100.0})
+        s2 = close_set(1, {11: 100.0})
+        result = select_close_relay(
+            s1, s2, sizes({}), lambda idx: close_set(idx, {}), ASAPConfig()
+        )
+        assert result.one_hop == []
+        assert result.best_rtt_ms() is None
+
+
+class TestTwoHop:
+    def test_two_hop_triggered_below_size_threshold(self):
+        s1 = close_set(0, {10: 80.0})
+        s2 = close_set(1, {10: 80.0, 20: 60.0})
+        fetched = []
+
+        def close_of(idx):
+            fetched.append(idx)
+            return close_set(idx, {20: 50.0})
+
+        config = ASAPConfig(size_threshold=100)
+        result = select_close_relay(s1, s2, sizes({10: 2, 20: 3}), close_of, config)
+        assert fetched == [10]
+        assert result.two_hop_queries == 1
+        assert result.messages == 4  # 2 + 2 per query
+        # Path 0 -10- 20 -1: 80 + 50 + 60 + 80 = 270 < 300.
+        assert len(result.two_hop) == 1
+        assert result.two_hop[0].relay_rtt_ms == pytest.approx(270.0)
+        assert result.two_hop_pairs == 2 * 3
+        assert result.quality_paths == 2 + 6
+
+    def test_two_hop_skipped_when_enough_one_hop(self):
+        s1 = close_set(0, {10: 80.0})
+        s2 = close_set(1, {10: 80.0})
+        result = select_close_relay(
+            s1, s2, sizes({10: 500}), no_two_hop, ASAPConfig(size_threshold=300)
+        )
+        assert result.two_hop == []
+
+    def test_two_hop_requires_r2_in_s2(self):
+        s1 = close_set(0, {10: 80.0})
+        s2 = close_set(1, {10: 80.0})
+
+        def close_of(idx):
+            return close_set(idx, {30: 10.0})  # 30 not in S2
+
+        result = select_close_relay(s1, s2, sizes({10: 1}), close_of, ASAPConfig())
+        assert result.two_hop == []
+
+    def test_two_hop_threshold_applies(self):
+        s1 = close_set(0, {10: 150.0})
+        s2 = close_set(1, {10: 150.0, 20: 100.0})
+
+        def close_of(idx):
+            return close_set(idx, {20: 100.0})
+
+        # 150 + 100 + 100 + 80 = 430 > 300 → rejected.
+        result = select_close_relay(s1, s2, sizes({}), close_of, ASAPConfig())
+        assert result.two_hop == []
+
+    def test_max_two_hop_queries_cap(self):
+        s1 = close_set(0, {10: 80.0, 11: 80.0, 12: 80.0})
+        s2 = close_set(1, {10: 80.0, 11: 80.0, 12: 80.0})
+        fetched = []
+
+        def close_of(idx):
+            fetched.append(idx)
+            return close_set(idx, {})
+
+        config = ASAPConfig(size_threshold=10**6, max_two_hop_queries=2)
+        result = select_close_relay(s1, s2, sizes({}), close_of, config)
+        assert len(fetched) == 2
+        assert result.messages == 2 + 4
+
+    def test_r1_equals_r2_skipped(self):
+        s1 = close_set(0, {10: 50.0})
+        s2 = close_set(1, {10: 50.0})
+
+        def close_of(idx):
+            return close_set(idx, {10: 0.0})
+
+        result = select_close_relay(s1, s2, sizes({10: 1}), close_of, ASAPConfig())
+        assert all(c.first != c.second for c in result.two_hop)
+
+    def test_best_rtt_over_both_sets(self):
+        s1 = close_set(0, {10: 100.0})
+        s2 = close_set(1, {10: 100.0, 20: 50.0})
+
+        def close_of(idx):
+            return close_set(idx, {20: 40.0})
+
+        result = select_close_relay(
+            s1, s2, sizes({10: 1, 20: 1}), close_of, ASAPConfig(size_threshold=300)
+        )
+        one_hop_rtt = 100.0 + 100.0 + 40.0      # 240
+        two_hop_rtt = 100.0 + 40.0 + 50.0 + 80  # 270
+        assert result.best_rtt_ms() == pytest.approx(min(one_hop_rtt, two_hop_rtt))

@@ -1,0 +1,153 @@
+"""Tests for the event-driven ASAP runtime (joins + call setups)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ASAPConfig
+from repro.core.config import derive_k_hops
+from repro.core.runtime import ASAPRuntime
+from repro.scenario import tiny_scenario
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return tiny_scenario(seed=11)
+
+
+@pytest.fixture()
+def runtime(scenario):
+    return ASAPRuntime(
+        scenario, ASAPConfig(k_hops=derive_k_hops(scenario.matrices))
+    )
+
+
+def latent_host_pair(scenario):
+    m = scenario.matrices
+    clusters = scenario.clusters.all_clusters()
+    for a, b in np.argwhere(m.rtt_ms > 300):
+        ca, cb = clusters[int(a)], clusters[int(b)]
+        if ca.hosts and cb.hosts:
+            return ca.hosts[0].ip, cb.hosts[0].ip
+    pytest.skip("no latent pair")
+
+
+def good_host_pair(scenario):
+    m = scenario.matrices
+    clusters = scenario.clusters.all_clusters()
+    for a, b in np.argwhere(np.isfinite(m.rtt_ms) & (m.rtt_ms < 120)):
+        if a == b:
+            continue
+        ca, cb = clusters[int(a)], clusters[int(b)]
+        if ca.hosts and cb.hosts:
+            return ca.hosts[0].ip, cb.hosts[0].ip
+    pytest.skip("no good pair")
+
+
+class TestJoinFlow:
+    def test_join_completes_with_positive_duration(self, scenario, runtime):
+        ip = scenario.population.hosts[0].ip
+        record = runtime.schedule_join(ip, at_ms=0.0)
+        runtime.run()
+        assert record.completed_ms is not None
+        assert record.duration_ms > 0
+
+    def test_join_sends_messages(self, scenario, runtime):
+        ip = scenario.population.hosts[0].ip
+        runtime.schedule_join(ip)
+        runtime.run()
+        assert runtime.network.sent_by_category["join-request"] == 1
+        assert runtime.network.sent_by_category["publish-nodal-info"] == 1
+
+    def test_many_joins(self, scenario, runtime):
+        for host in scenario.population.hosts[:20]:
+            runtime.schedule_join(host.ip, at_ms=float(host.ip.value % 50))
+        runtime.run()
+        completed = [j for j in runtime.joins if j.completed_ms is not None]
+        assert len(completed) >= 18  # a couple may sit behind failures
+
+
+class TestCallSetup:
+    def test_good_pair_setup_is_one_ping(self, scenario, runtime):
+        caller, callee = good_host_pair(scenario)
+        record = runtime.schedule_call(caller, callee)
+        runtime.run()
+        assert record.setup_ms is not None
+        direct = scenario.latency.host_rtt_ms(
+            scenario.population.by_ip(caller), scenario.population.by_ip(callee)
+        )
+        assert record.setup_ms == pytest.approx(direct, rel=1e-6)
+        assert not record.session.relay_needed
+
+    def test_latent_pair_setup_bounded_by_few_rtts(self, scenario, runtime):
+        caller, callee = latent_host_pair(scenario)
+        record = runtime.schedule_call(caller, callee)
+        runtime.run()
+        assert record.setup_ms is not None
+        assert record.session.relay_needed
+        # Setup is a handful of RTTs — single-digit seconds even on a
+        # terrible path, versus Skype's tens-to-hundreds of seconds.
+        assert record.setup_ms < 10_000.0
+        assert record.setup_ms > record.session.direct_rtt_ms  # ping + fetches
+
+    def test_callback_invoked(self, scenario, runtime):
+        caller, callee = latent_host_pair(scenario)
+        seen = []
+        runtime.schedule_call(caller, callee, on_complete=seen.append)
+        runtime.run()
+        assert len(seen) == 1
+        assert seen[0].setup_ms is not None
+
+    def test_concurrent_calls(self, scenario, runtime):
+        caller, callee = latent_host_pair(scenario)
+        caller2, callee2 = good_host_pair(scenario)
+        runtime.schedule_call(caller, callee, at_ms=0.0)
+        runtime.schedule_call(caller2, callee2, at_ms=5.0)
+        runtime.run()
+        assert len(runtime.setup_times_ms()) == 2
+
+    def test_messages_flow_through_network(self, scenario, runtime):
+        caller, callee = latent_host_pair(scenario)
+        runtime.schedule_call(caller, callee)
+        runtime.run()
+        assert runtime.network.sent_by_category["ping"] == 1
+        assert runtime.network.sent_by_category["close-set-request"] >= 2
+
+
+class TestMultiSurrogate:
+    def test_large_cluster_gets_multiple_surrogates(self, scenario):
+        from repro.core import ASAPSystem
+
+        system = ASAPSystem(scenario, ASAPConfig(hosts_per_surrogate=5))
+        big = max(scenario.clusters.all_clusters(), key=len)
+        if len(big) < 6:
+            pytest.skip("no cluster large enough")
+        idx = scenario.matrices.index_of[big.prefix]
+        group = system.surrogate_group(idx)
+        assert len(group) == -(-len(big) // 5)
+        # Replicas serve the primary's close set object.
+        assert group[1].close_set() is group[0].close_set()
+
+    def test_requests_spread_over_group(self, scenario):
+        from repro.core import ASAPSystem
+
+        system = ASAPSystem(scenario, ASAPConfig(hosts_per_surrogate=5))
+        big = max(scenario.clusters.all_clusters(), key=len)
+        if len(big) < 11:
+            pytest.skip("no cluster large enough")
+        idx = scenario.matrices.index_of[big.prefix]
+        served = set()
+        for host in scenario.population.hosts[:40]:
+            served.add(system.surrogate(idx, requester=host.ip).ip)
+        assert len(served) > 1
+
+    def test_maintenance_counted_once_per_cluster(self, scenario):
+        from repro.core import ASAPSystem
+
+        multi = ASAPSystem(scenario, ASAPConfig(hosts_per_surrogate=5))
+        single = ASAPSystem(scenario, ASAPConfig(hosts_per_surrogate=10**9))
+        big = max(scenario.clusters.all_clusters(), key=len)
+        idx = scenario.matrices.index_of[big.prefix]
+        multi.close_set(idx)
+        single.close_set(idx)
+        # Replicas share the primary's probes — no duplicate traffic.
+        assert multi.maintenance_messages() == single.maintenance_messages()

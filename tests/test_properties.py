@@ -1,0 +1,216 @@
+"""Cross-module property tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bgp.asgraph import ASGraph
+from repro.bgp.pathinfer import infer_as_path
+from repro.bgp.routing import PolicyRouter
+from repro.core import ASAPConfig, construct_close_cluster_set
+from repro.core.close_cluster import CloseClusterSet
+from repro.core.relay_selection import select_close_relay
+from repro.core.close_cluster import CloseClusterEntry
+from repro.topology import TopologyConfig, generate_topology
+from repro.util.rng import derive_rng
+
+
+def random_annotated_graph(seed: int, n: int = 12) -> ASGraph:
+    """A small random annotated graph (always includes a tier-1 pair)."""
+    rng = derive_rng(seed, "prop-graph")
+    g = ASGraph()
+    g.add_peer(1, 2)
+    for asn in range(3, n + 1):
+        g.add_as(asn)
+        provider = int(rng.integers(1, asn))
+        if g.relationship(provider, asn) is None:
+            g.add_provider_customer(provider, asn)
+        if rng.random() < 0.3:
+            other = int(rng.integers(1, asn))
+            if other != asn and g.relationship(other, asn) is None:
+                if rng.random() < 0.5:
+                    g.add_peer(other, asn)
+                else:
+                    g.add_provider_customer(other, asn)
+    return g
+
+
+class TestGraphProperties:
+    @given(st.integers(0, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_ball_monotone_in_radius(self, seed):
+        g = random_annotated_graph(seed)
+        start = 3
+        previous = set()
+        for k in range(0, 5):
+            ball = set(g.valley_free_ball(start, k))
+            assert previous <= ball, "ball must grow monotonically with k"
+            previous = ball
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_ball_distances_match_pairwise_distance(self, seed):
+        g = random_annotated_graph(seed)
+        ball = g.valley_free_ball(3, 4)
+        for node, dist in ball.items():
+            direct = g.valley_free_distance(3, node)
+            assert direct is not None
+            assert direct == dist
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=25, deadline=None)
+    def test_inferred_path_never_beats_ball_distance(self, seed):
+        g = random_annotated_graph(seed)
+        for dst in list(g.ases())[:6]:
+            path = infer_as_path(g, 3, dst)
+            dist = g.valley_free_distance(3, dst)
+            if path is None:
+                assert dist is None
+            else:
+                assert len(path) - 1 == dist
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=20, deadline=None)
+    def test_policy_path_at_least_shortest_valley_free(self, seed):
+        g = random_annotated_graph(seed)
+        router = PolicyRouter(g)
+        for dst in list(g.ases())[:5]:
+            selected = router.as_path(3, dst)
+            if selected is None:
+                continue
+            shortest = g.valley_free_distance(3, dst)
+            assert shortest is not None
+            assert len(selected) - 1 >= shortest
+
+    @given(st.integers(0, 40))
+    @settings(max_examples=15, deadline=None)
+    def test_policy_subpath_consistency(self, seed):
+        # Hop-by-hop forwarding: the next hop's selected path to the
+        # same destination is the tail of the current path.
+        g = random_annotated_graph(seed)
+        router = PolicyRouter(g)
+        for dst in list(g.ases())[:4]:
+            tree = router.tree(dst)
+            for src in g.ases():
+                path = tree.path_from(src)
+                if path is None or len(path) < 2:
+                    continue
+                assert tree.path_from(path[1]) == path[1:]
+
+
+class TestCloseSetProperties:
+    def _world(self, seed):
+        topo = generate_topology(
+            TopologyConfig(tier1_count=3, tier2_count=8, tier3_count=30, seed=seed)
+        )
+        graph = topo.graph
+        stubs = topo.stub_ases()
+        clusters_in_as = lambda asn: [asn] if asn in stubs else []
+        rng = derive_rng(seed, "prop-lat")
+        cache = {}
+
+        def lat(a, b):
+            key = (min(a, b), max(a, b))
+            if key not in cache:
+                cache[key] = float(rng.uniform(20.0, 400.0))
+            return cache[key]
+
+        loss = lambda a, b: 0.0
+        return topo, graph, stubs, clusters_in_as, lat, loss
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_close_set_monotone_in_k(self, seed):
+        topo, graph, stubs, cin, lat, loss = self._world(seed)
+        own = stubs[0]
+        previous = set()
+        for k in (1, 2, 3, 4):
+            result = construct_close_cluster_set(
+                own, own, graph, cin, lat, loss, ASAPConfig(k_hops=k)
+            )
+            current = set(result.entries)
+            assert previous <= current
+            previous = current
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_close_set_within_valley_free_ball(self, seed):
+        topo, graph, stubs, cin, lat, loss = self._world(seed)
+        own = stubs[0]
+        k = 3
+        result = construct_close_cluster_set(
+            own, own, graph, cin, lat, loss, ASAPConfig(k_hops=k)
+        )
+        ball = graph.valley_free_ball(own, k)
+        for cluster in result.entries:
+            assert cluster in ball
+
+    @given(st.integers(0, 20))
+    @settings(max_examples=10, deadline=None)
+    def test_close_set_entries_meet_thresholds(self, seed):
+        topo, graph, stubs, cin, lat, loss = self._world(seed)
+        own = stubs[0]
+        config = ASAPConfig(k_hops=3, lat_threshold_ms=250.0)
+        result = construct_close_cluster_set(own, own, graph, cin, lat, loss, config)
+        for cluster, entry in result.entries.items():
+            if cluster == own:
+                continue
+            assert entry.rtt_ms < config.lat_threshold_ms
+            assert entry.loss < config.loss_threshold
+
+
+def close_set_strategy(owner: int):
+    entry = st.tuples(
+        st.integers(0, 30),
+        st.floats(min_value=1.0, max_value=280.0),
+    )
+    return st.lists(entry, max_size=15).map(
+        lambda pairs: _build_set(owner, pairs)
+    )
+
+
+def _build_set(owner, pairs):
+    cs = CloseClusterSet(owner=owner)
+    for cluster, rtt in pairs:
+        if cluster not in cs.entries:
+            cs.entries[cluster] = CloseClusterEntry(cluster, rtt, 0.0, 1)
+    return cs
+
+
+class TestRelaySelectionProperties:
+    @given(close_set_strategy(100), close_set_strategy(200))
+    @settings(max_examples=60, deadline=None)
+    def test_message_accounting_formula(self, s1, s2):
+        config = ASAPConfig(size_threshold=10**9, max_two_hop_queries=3)
+        result = select_close_relay(
+            s1, s2, lambda idx: 1, lambda idx: _build_set(idx, []), config
+        )
+        assert result.messages == 2 + 2 * result.two_hop_queries
+        assert result.two_hop_queries <= 3
+
+    @given(close_set_strategy(100), close_set_strategy(200))
+    @settings(max_examples=60, deadline=None)
+    def test_one_hop_candidates_in_intersection(self, s1, s2):
+        config = ASAPConfig(size_threshold=0)
+        result = select_close_relay(
+            s1, s2, lambda idx: 1, lambda idx: _build_set(idx, []), config
+        )
+        common = set(s1.entries) & set(s2.entries)
+        for candidate in result.one_hop:
+            assert candidate.cluster in common
+            assert candidate.relay_rtt_ms < config.lat_threshold_ms
+            assert candidate.relay_rtt_ms == pytest.approx(
+                s1.rtt_to(candidate.cluster)
+                + s2.rtt_to(candidate.cluster)
+                + config.relay_delay_rtt_ms
+            )
+
+    @given(close_set_strategy(100), close_set_strategy(200))
+    @settings(max_examples=40, deadline=None)
+    def test_quality_paths_nonnegative_and_consistent(self, s1, s2):
+        result = select_close_relay(
+            s1, s2, lambda idx: 2, lambda idx: _build_set(idx, []), ASAPConfig()
+        )
+        assert result.quality_paths == result.one_hop_ips + result.two_hop_pairs
+        assert result.one_hop_ips == 2 * len(result.one_hop)

@@ -1,0 +1,178 @@
+"""Tests for the discrete-event engine, sim network, and trace records."""
+
+import pytest
+
+from repro.netaddr import IPv4Address
+from repro.scenario import tiny_scenario
+from repro.sim import PacketRecord, SessionTrace, SimNetwork, Simulator
+from repro.sim.engine import SimulationError
+
+
+class TestSimulator:
+    def test_events_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(10.0, lambda: order.append("b"))
+        sim.schedule(5.0, lambda: order.append("a"))
+        sim.schedule(20.0, lambda: order.append("c"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_fifo(self):
+        sim = Simulator()
+        order = []
+        for tag in ("x", "y", "z"):
+            sim.schedule(1.0, lambda t=tag: order.append(t))
+        sim.run()
+        assert order == ["x", "y", "z"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(3.0, lambda: seen.append(sim.now_ms))
+        sim.run()
+        assert seen == [3.0]
+        assert sim.now_ms == 3.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        hits = []
+
+        def outer():
+            hits.append(sim.now_ms)
+            sim.schedule(5.0, lambda: hits.append(sim.now_ms))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert hits == [1.0, 6.0]
+
+    def test_run_until_bounds_time(self):
+        sim = Simulator()
+        hits = []
+        sim.schedule(5.0, lambda: hits.append(1))
+        sim.schedule(50.0, lambda: hits.append(2))
+        sim.run(until_ms=10.0)
+        assert hits == [1]
+        assert sim.now_ms == 10.0
+        sim.run()
+        assert hits == [1, 2]
+
+    def test_run_max_events(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        executed = sim.run(max_events=3)
+        assert executed == 3
+        assert sim.pending_events == 2
+
+    def test_cannot_schedule_into_past(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_step_returns_false_on_empty(self):
+        assert not Simulator().step()
+
+    def test_processed_events_counter(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.processed_events == 2
+
+
+class TestSimNetwork:
+    @pytest.fixture(scope="class")
+    def scenario(self):
+        return tiny_scenario(seed=4)
+
+    def test_delivery_after_one_way_delay(self, scenario):
+        sim = Simulator()
+        net = SimNetwork(sim, scenario.latency)
+        a, b = scenario.population.hosts[0], scenario.population.hosts[1]
+        got = []
+        net.register(a, lambda m: None)
+        net.register(b, lambda m: got.append((sim.now_ms, m)))
+        assert net.send(a, b.ip, "probe", payload=42)
+        sim.run()
+        assert len(got) == 1
+        t, msg = got[0]
+        assert t == pytest.approx(scenario.latency.host_rtt_ms(a, b) / 2.0)
+        assert msg.payload == 42
+        assert msg.category == "probe"
+
+    def test_unregistered_destination_dropped(self, scenario):
+        sim = Simulator()
+        net = SimNetwork(sim, scenario.latency)
+        a, b = scenario.population.hosts[0], scenario.population.hosts[1]
+        net.register(a, lambda m: None)
+        assert not net.send(a, b.ip, "probe")
+        assert net.dropped == 1
+        assert net.total_sent == 1  # counted at the sender regardless
+
+    def test_category_counters(self, scenario):
+        sim = Simulator()
+        net = SimNetwork(sim, scenario.latency)
+        a, b = scenario.population.hosts[0], scenario.population.hosts[1]
+        net.register(a, lambda m: None)
+        net.register(b, lambda m: None)
+        net.send(a, b.ip, "probe")
+        net.send(a, b.ip, "probe")
+        net.send(b, a.ip, "join")
+        assert net.sent_by_category["probe"] == 2
+        assert net.sent_by_category["join"] == 1
+        assert net.total_sent == 3
+
+
+def _packet(t, src, dst, size, kind="voice"):
+    return PacketRecord(
+        time_ms=t,
+        src_ip=IPv4Address.from_string(src),
+        src_port=1000,
+        dst_ip=IPv4Address.from_string(dst),
+        dst_port=1000,
+        size_bytes=size,
+        kind=kind,
+    )
+
+
+class TestSessionTrace:
+    def test_duration_and_merge(self):
+        trace = SessionTrace(
+            session_id=1,
+            caller=IPv4Address.from_string("10.0.0.1"),
+            callee=IPv4Address.from_string("10.0.0.2"),
+        )
+        trace.record_at_caller(_packet(0.0, "10.0.0.1", "10.0.0.2", 160))
+        trace.record_at_callee(_packet(50.0, "10.0.0.2", "10.0.0.1", 160))
+        trace.record_at_caller(_packet(100.0, "10.0.0.1", "10.0.0.9", 48))
+        assert trace.duration_ms() == 100.0
+        merged = list(trace.all_packets())
+        assert [p.time_ms for p in merged] == [0.0, 50.0, 100.0]
+
+    def test_packets_sent_by(self):
+        trace = SessionTrace(
+            session_id=1,
+            caller=IPv4Address.from_string("10.0.0.1"),
+            callee=IPv4Address.from_string("10.0.0.2"),
+        )
+        trace.record_at_caller(_packet(0.0, "10.0.0.1", "10.0.0.9", 160))
+        trace.record_at_callee(_packet(1.0, "10.0.0.2", "10.0.0.1", 160))
+        sent = trace.packets_sent_by(IPv4Address.from_string("10.0.0.1"))
+        assert len(sent) == 1
+        assert str(sent[0].dst_ip) == "10.0.0.9"
+
+    def test_contacted_ips_ordered_distinct(self):
+        trace = SessionTrace(
+            session_id=1,
+            caller=IPv4Address.from_string("10.0.0.1"),
+            callee=IPv4Address.from_string("10.0.0.2"),
+        )
+        for dst in ("10.0.0.5", "10.0.0.6", "10.0.0.5"):
+            trace.record_at_caller(_packet(0.0, "10.0.0.1", dst, 48))
+        contacted = trace.contacted_ips(IPv4Address.from_string("10.0.0.1"))
+        assert [str(ip) for ip in contacted] == ["10.0.0.5", "10.0.0.6"]

@@ -1,0 +1,78 @@
+"""Tests for geographic placement and delay conversion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology.geography import Geography, MS_PER_KM, PATH_STRETCH
+
+
+class TestGeography:
+    def test_place_and_distance(self):
+        geo = Geography(width_km=100.0, height_km=50.0)
+        geo.place(1, 0.0, 0.0)
+        geo.place(2, 30.0, 40.0)
+        assert geo.distance_km(1, 2) == pytest.approx(50.0)
+
+    def test_x_wraparound(self):
+        geo = Geography(width_km=100.0, height_km=50.0)
+        geo.place(1, 5.0, 0.0)
+        geo.place(2, 95.0, 0.0)
+        # Going the short way around: 10 km, not 90.
+        assert geo.distance_km(1, 2) == pytest.approx(10.0)
+
+    def test_y_clamped(self):
+        geo = Geography(width_km=100.0, height_km=50.0)
+        geo.place(1, 0.0, 80.0)
+        assert geo.coords[1][1] == 50.0
+        geo.place(2, 0.0, -10.0)
+        assert geo.coords[2][1] == 0.0
+
+    def test_x_wraps_modulo(self):
+        geo = Geography(width_km=100.0, height_km=50.0)
+        geo.place(1, 130.0, 0.0)
+        assert geo.coords[1][0] == pytest.approx(30.0)
+
+    def test_place_near_requires_anchor(self):
+        geo = Geography()
+        rng = np.random.default_rng(0)
+        with pytest.raises(TopologyError):
+            geo.place_near(2, 1, rng, 100.0)
+
+    def test_place_near_spread(self):
+        geo = Geography()
+        geo.place(1, 10000.0, 5000.0)
+        rng = np.random.default_rng(0)
+        distances = []
+        for asn in range(2, 102):
+            geo.place_near(asn, 1, rng, 500.0)
+            distances.append(geo.distance_km(1, asn))
+        assert np.mean(distances) < 2000.0
+
+    def test_propagation_delay(self):
+        geo = Geography(width_km=100000.0, height_km=50000.0)
+        geo.place(1, 0.0, 0.0)
+        geo.place(2, 1000.0, 0.0)
+        assert geo.propagation_delay_ms(1, 2) == pytest.approx(1000.0 * MS_PER_KM * PATH_STRETCH)
+
+    def test_distance_unknown_as(self):
+        geo = Geography()
+        geo.place(1, 0.0, 0.0)
+        with pytest.raises(TopologyError):
+            geo.distance_km(1, 99)
+
+    def test_contains_and_len(self):
+        geo = Geography()
+        geo.place(7, 1.0, 1.0)
+        assert 7 in geo
+        assert 8 not in geo
+        assert len(geo) == 1
+
+    def test_place_random_within_bounds(self):
+        geo = Geography(width_km=100.0, height_km=50.0)
+        rng = np.random.default_rng(3)
+        for asn in range(1, 50):
+            geo.place_random(asn, rng)
+            x, y = geo.coords[asn]
+            assert 0.0 <= x < 100.0
+            assert 0.0 <= y <= 50.0

@@ -1,0 +1,441 @@
+"""Tests for packet-level streams, playout buffering, and the call runtime."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.voip.call import (
+    CallConfig,
+    PathQualityProcess,
+    VoiceCall,
+    call_paths_from_selection,
+)
+from repro.voip.codecs import G711, G729A_VAD
+from repro.voip.stream import (
+    PlayoutBuffer,
+    StreamConfig,
+    merge_diverse_arrivals,
+    score_playout,
+    simulate_stream,
+)
+
+
+class TestSimulateStream:
+    def test_packet_count_and_spacing(self):
+        config = StreamConfig(duration_ms=1000.0)
+        arrivals = simulate_stream(50.0, 0.0, config)
+        assert len(arrivals) == config.packet_count
+        gaps = {round(b.sent_ms - a.sent_ms, 6) for a, b in zip(arrivals, arrivals[1:])}
+        assert gaps == {config.codec.packet_interval_ms()}
+
+    def test_zero_loss_all_arrive(self):
+        arrivals = simulate_stream(50.0, 0.0, StreamConfig(duration_ms=2000.0))
+        assert all(not p.lost for p in arrivals)
+        for p in arrivals:
+            assert p.arrival_ms >= p.sent_ms + 50.0
+
+    def test_full_loss(self):
+        arrivals = simulate_stream(50.0, 1.0, StreamConfig(duration_ms=1000.0))
+        assert all(p.lost for p in arrivals)
+
+    def test_loss_rate_statistics(self):
+        arrivals = simulate_stream(50.0, 0.2, StreamConfig(duration_ms=60_000.0, seed=3))
+        observed = np.mean([p.lost for p in arrivals])
+        assert 0.15 < observed < 0.25
+
+    def test_deterministic_by_seed(self):
+        a = simulate_stream(50.0, 0.1, StreamConfig(seed=5))
+        b = simulate_stream(50.0, 0.1, StreamConfig(seed=5))
+        assert a == b
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            simulate_stream(-1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            simulate_stream(10.0, 1.5)
+        with pytest.raises(ConfigurationError):
+            StreamConfig(duration_ms=0)
+
+
+class TestDiversity:
+    def test_earlier_copy_wins(self):
+        fast = simulate_stream(30.0, 0.0, StreamConfig(duration_ms=1000.0, jitter_mean_ms=0.0))
+        slow = simulate_stream(90.0, 0.0, StreamConfig(duration_ms=1000.0, jitter_mean_ms=0.0))
+        merged = merge_diverse_arrivals(slow, fast)
+        for p in merged:
+            assert p.arrival_ms == pytest.approx(p.sent_ms + 30.0)
+
+    def test_survives_single_path_loss(self):
+        lossy = simulate_stream(30.0, 1.0, StreamConfig(duration_ms=1000.0))
+        clean = simulate_stream(90.0, 0.0, StreamConfig(duration_ms=1000.0))
+        merged = merge_diverse_arrivals(lossy, clean)
+        assert all(not p.lost for p in merged)
+
+    def test_lost_on_both(self):
+        a = simulate_stream(30.0, 1.0, StreamConfig(duration_ms=500.0))
+        b = simulate_stream(60.0, 1.0, StreamConfig(duration_ms=500.0))
+        merged = merge_diverse_arrivals(a, b)
+        assert all(p.lost for p in merged)
+
+    def test_mismatched_streams_rejected(self):
+        a = simulate_stream(30.0, 0.0, StreamConfig(duration_ms=500.0))
+        b = simulate_stream(30.0, 0.0, StreamConfig(duration_ms=1000.0))
+        with pytest.raises(ConfigurationError):
+            merge_diverse_arrivals(a, b)
+
+    @given(st.floats(0.0, 0.6), st.floats(0.0, 0.6))
+    @settings(max_examples=30, deadline=None)
+    def test_diversity_never_increases_loss(self, loss_a, loss_b):
+        config = StreamConfig(duration_ms=5000.0, seed=1)
+        a = simulate_stream(40.0, loss_a, config, rng=np.random.default_rng(1))
+        b = simulate_stream(60.0, loss_b, config, rng=np.random.default_rng(2))
+        merged = merge_diverse_arrivals(a, b)
+        merged_loss = np.mean([p.lost for p in merged])
+        assert merged_loss <= min(
+            np.mean([p.lost for p in a]), np.mean([p.lost for p in b])
+        ) + 1e-12
+
+
+class TestPlayoutBuffer:
+    def test_deep_buffer_plays_everything(self):
+        arrivals = simulate_stream(50.0, 0.0, StreamConfig(duration_ms=2000.0))
+        result = PlayoutBuffer(depth_ms=500.0).play(arrivals)
+        assert result.late == 0
+        assert result.played == result.total
+
+    def test_shallow_buffer_discards_late(self):
+        arrivals = simulate_stream(
+            50.0, 0.0, StreamConfig(duration_ms=5000.0, jitter_mean_ms=30.0)
+        )
+        result = PlayoutBuffer(depth_ms=1.0).play(arrivals)
+        assert result.late > 0
+        assert result.played + result.late + result.network_lost == result.total
+
+    def test_effective_loss_combines(self):
+        arrivals = simulate_stream(
+            50.0, 0.1, StreamConfig(duration_ms=10_000.0, jitter_mean_ms=20.0, seed=2)
+        )
+        result = PlayoutBuffer(depth_ms=10.0).play(arrivals)
+        assert result.effective_loss > 0.1  # network loss plus late loss
+
+    def test_all_lost_stream(self):
+        arrivals = simulate_stream(50.0, 1.0, StreamConfig(duration_ms=500.0))
+        result = PlayoutBuffer().play(arrivals)
+        assert result.played == 0
+        assert not np.isfinite(result.mouth_to_ear_ms)
+        assert score_playout(result) == 1.0
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PlayoutBuffer().play([])
+
+    def test_depth_delay_tradeoff(self):
+        # A deeper buffer lowers loss but raises mouth-to-ear delay.
+        arrivals = simulate_stream(
+            60.0, 0.0, StreamConfig(duration_ms=10_000.0, jitter_mean_ms=25.0, seed=4)
+        )
+        shallow = PlayoutBuffer(depth_ms=5.0).play(arrivals)
+        deep = PlayoutBuffer(depth_ms=120.0).play(arrivals)
+        assert deep.effective_loss <= shallow.effective_loss
+        assert deep.mouth_to_ear_ms > shallow.mouth_to_ear_ms
+
+    def test_score_playout_reasonable(self):
+        arrivals = simulate_stream(40.0, 0.002, StreamConfig(duration_ms=5000.0, seed=5))
+        result = PlayoutBuffer(depth_ms=40.0).play(arrivals)
+        mos = score_playout(result)
+        assert 3.5 < mos <= 4.5
+
+
+class TestPathQualityProcess:
+    def test_clear_state_matches_base(self):
+        process = PathQualityProcess(50.0, 0.01, congest_probability=0.0, seed=1)
+        for _ in range(10):
+            state = process.step()
+            assert state.one_way_delay_ms == 50.0
+            assert state.loss_rate == pytest.approx(0.01)
+
+    def test_congestion_raises_delay_and_loss(self):
+        process = PathQualityProcess(
+            50.0, 0.01, congest_probability=1.0, recover_probability=0.0, seed=1
+        )
+        state = process.step()
+        assert state.one_way_delay_ms > 50.0
+        assert state.loss_rate > 0.01
+
+    def test_invalid_probabilities(self):
+        with pytest.raises(ConfigurationError):
+            PathQualityProcess(50.0, 0.0, congest_probability=1.5)
+
+
+class TestVoiceCall:
+    def _paths(self, n=3, congest=0.0, seed=0):
+        return [
+            PathQualityProcess(
+                60.0 + 15.0 * i, 0.003, congest_probability=congest, seed=seed + i
+            )
+            for i in range(n)
+        ]
+
+    def test_stable_call_no_switches(self):
+        call = VoiceCall(self._paths(congest=0.0), CallConfig(windows=10, seed=1))
+        outcome = call.run()
+        assert outcome.switches == 0
+        assert outcome.mean_mos > 3.6
+        assert outcome.satisfied_fraction == 1.0
+
+    def test_needs_at_least_one_path(self):
+        with pytest.raises(ConfigurationError):
+            VoiceCall([], CallConfig())
+
+    def test_switching_recovers_from_congestion(self):
+        # Path 0 is permanently congested from window 0; switching must
+        # move off it and recover quality.
+        bad = PathQualityProcess(
+            60.0, 0.003, congest_probability=1.0, recover_probability=0.0,
+            congestion_delay_ms=300.0, congestion_loss=0.15, seed=1,
+        )
+        good = PathQualityProcess(75.0, 0.003, congest_probability=0.0, seed=2)
+        with_switching = VoiceCall(
+            [bad, good], CallConfig(windows=12, use_switching=True, seed=3)
+        ).run()
+        bad2 = PathQualityProcess(
+            60.0, 0.003, congest_probability=1.0, recover_probability=0.0,
+            congestion_delay_ms=300.0, congestion_loss=0.15, seed=1,
+        )
+        good2 = PathQualityProcess(75.0, 0.003, congest_probability=0.0, seed=2)
+        without = VoiceCall(
+            [bad2, good2], CallConfig(windows=12, use_switching=False, seed=3)
+        ).run()
+        assert with_switching.switches >= 1
+        assert with_switching.mean_mos > without.mean_mos
+        assert with_switching.windows[-1].active_path == 1
+
+    def test_diversity_improves_lossy_call(self):
+        def paths(seed):
+            return [
+                PathQualityProcess(60.0, 0.08, congest_probability=0.0, seed=seed),
+                PathQualityProcess(70.0, 0.08, congest_probability=0.0, seed=seed + 1),
+            ]
+
+        plain = VoiceCall(
+            paths(1), CallConfig(windows=8, use_switching=False, use_diversity=False, seed=5)
+        ).run()
+        diverse = VoiceCall(
+            paths(1), CallConfig(windows=8, use_switching=False, use_diversity=True, seed=5)
+        ).run()
+        assert diverse.mean_mos > plain.mean_mos
+        assert all(w.effective_loss <= 0.06 for w in diverse.windows)
+
+    def test_windows_recorded(self):
+        outcome = VoiceCall(self._paths(), CallConfig(windows=7, seed=2)).run()
+        assert [w.window for w in outcome.windows] == list(range(7))
+
+
+class TestCallPathsFromSelection:
+    def test_builds_processes_from_selection(self):
+        from repro.scenario import tiny_scenario
+        from repro.core import ASAPSystem, ASAPConfig
+        from repro.core.config import derive_k_hops
+
+        scenario = tiny_scenario(seed=11)
+        system = ASAPSystem(scenario, ASAPConfig(k_hops=derive_k_hops(scenario.matrices)))
+        m = scenario.matrices
+        latent = np.argwhere(m.rtt_ms > 300)
+        if latent.size == 0:
+            pytest.skip("no latent pair")
+        a, b = (int(x) for x in latent[0])
+        clusters = scenario.clusters.all_clusters()
+        session = system.call(clusters[a].hosts[0].ip, clusters[b].hosts[0].ip)
+        if session.selection is None or not session.selection.one_hop:
+            pytest.skip("no one-hop candidates")
+        paths = call_paths_from_selection(session.selection, m, a, b)
+        assert 1 <= len(paths) <= 4
+        outcome = VoiceCall(paths, CallConfig(windows=5, seed=1)).run()
+        assert outcome.mean_mos > 1.0
+
+
+class TestAdaptivePlayoutBuffer:
+    def _stream(self, jitter, duration=20_000.0, loss=0.0, seed=6):
+        from repro.voip.stream import simulate_stream, StreamConfig
+
+        return simulate_stream(
+            60.0, loss, StreamConfig(duration_ms=duration, jitter_mean_ms=jitter, seed=seed)
+        )
+
+    def test_low_jitter_tight_deadline(self):
+        from repro.voip.stream import AdaptivePlayoutBuffer, PlayoutBuffer
+
+        arrivals = self._stream(jitter=1.0)
+        adaptive = AdaptivePlayoutBuffer().play(arrivals)
+        fixed_deep = PlayoutBuffer(depth_ms=120.0).play(arrivals)
+        # On a calm path the adaptive buffer plays out far earlier.
+        assert adaptive.mouth_to_ear_ms < fixed_deep.mouth_to_ear_ms
+        assert adaptive.effective_loss < 0.05
+
+    def test_high_jitter_deepens(self):
+        from repro.voip.stream import AdaptivePlayoutBuffer
+
+        calm = AdaptivePlayoutBuffer().play(self._stream(jitter=1.0))
+        jittery = AdaptivePlayoutBuffer().play(self._stream(jitter=40.0))
+        assert jittery.mouth_to_ear_ms > calm.mouth_to_ear_ms
+
+    def test_beats_shallow_fixed_on_jitter(self):
+        from repro.voip.stream import AdaptivePlayoutBuffer, PlayoutBuffer
+
+        arrivals = self._stream(jitter=30.0)
+        adaptive = AdaptivePlayoutBuffer().play(arrivals)
+        shallow = PlayoutBuffer(depth_ms=2.0).play(arrivals)
+        assert adaptive.effective_loss < shallow.effective_loss
+
+    def test_accounting_sums(self):
+        from repro.voip.stream import AdaptivePlayoutBuffer
+
+        arrivals = self._stream(jitter=10.0, loss=0.1)
+        result = AdaptivePlayoutBuffer().play(arrivals)
+        assert result.played + result.late + result.network_lost == result.total
+
+    def test_all_lost(self):
+        from repro.voip.stream import AdaptivePlayoutBuffer
+
+        arrivals = self._stream(jitter=5.0, loss=1.0, duration=1_000.0)
+        result = AdaptivePlayoutBuffer().play(arrivals)
+        assert result.played == 0
+        assert not np.isfinite(result.mouth_to_ear_ms)
+
+    def test_invalid_params(self):
+        from repro.voip.stream import AdaptivePlayoutBuffer
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            AdaptivePlayoutBuffer(alpha=1.0)
+        with pytest.raises(ConfigurationError):
+            AdaptivePlayoutBuffer(factor=0.0)
+        with pytest.raises(ConfigurationError):
+            AdaptivePlayoutBuffer().play([])
+
+
+class TestFECRecovery:
+    def _voice(self, loss, duration=10_000.0, seed=9):
+        return simulate_stream(
+            50.0, loss, StreamConfig(duration_ms=duration, jitter_mean_ms=5.0, seed=seed)
+        )
+
+    def _parity(self, voice, loss=0.0, seed=9):
+        from repro.voip.stream import make_parity_stream, StreamConfig as SC
+
+        return make_parity_stream(
+            70.0, loss, len(voice), group_size=4,
+            config=SC(duration_ms=10_000.0, jitter_mean_ms=5.0, seed=seed),
+        )
+
+    def test_recovers_isolated_losses(self):
+        from repro.voip.stream import apply_fec_recovery
+
+        voice = self._voice(loss=0.05)
+        parity = self._parity(voice)
+        recovered = apply_fec_recovery(voice, parity, group_size=4)
+        before = sum(1 for p in voice if p.lost)
+        after = sum(1 for p in recovered if p.lost)
+        assert before > 0
+        assert after < before
+
+    def test_cannot_recover_double_loss_in_group(self):
+        from repro.voip.stream import apply_fec_recovery, PacketArrival
+
+        voice = [
+            PacketArrival(0, 0.0, None),
+            PacketArrival(1, 20.0, None),
+            PacketArrival(2, 40.0, 90.0),
+            PacketArrival(3, 60.0, 110.0),
+        ]
+        parity = [PacketArrival(0, 60.0, 130.0)]
+        recovered = apply_fec_recovery(voice, parity, group_size=4)
+        assert sum(1 for p in recovered if p.lost) == 2
+
+    def test_recovery_waits_for_all_pieces(self):
+        from repro.voip.stream import apply_fec_recovery, PacketArrival
+
+        voice = [
+            PacketArrival(0, 0.0, None),
+            PacketArrival(1, 20.0, 70.0),
+            PacketArrival(2, 40.0, 95.0),
+            PacketArrival(3, 60.0, 200.0),
+        ]
+        parity = [PacketArrival(0, 60.0, 130.0)]
+        recovered = apply_fec_recovery(voice, parity, group_size=4)
+        assert recovered[0].arrival_ms == 200.0  # last surviving piece
+
+    def test_lost_parity_recovers_nothing(self):
+        from repro.voip.stream import apply_fec_recovery, PacketArrival
+
+        voice = [PacketArrival(0, 0.0, None), PacketArrival(1, 20.0, 60.0)]
+        parity = [PacketArrival(0, 20.0, None)]
+        recovered = apply_fec_recovery(voice, parity, group_size=2)
+        assert recovered[0].lost
+
+    def test_parity_count_validated(self):
+        from repro.voip.stream import apply_fec_recovery
+
+        voice = self._voice(loss=0.0, duration=1000.0)
+        with pytest.raises(ConfigurationError):
+            apply_fec_recovery(voice, [], group_size=4)
+        with pytest.raises(ConfigurationError):
+            apply_fec_recovery(voice, voice, group_size=1)
+
+    def test_fec_improves_playout_mos(self):
+        from repro.voip.stream import apply_fec_recovery
+
+        voice = self._voice(loss=0.08, duration=30_000.0)
+        parity = self._parity(voice, loss=0.08)
+        recovered = apply_fec_recovery(voice, parity, group_size=4)
+        plain = score_playout(PlayoutBuffer(60.0).play(voice))
+        fec = score_playout(PlayoutBuffer(60.0).play(recovered))
+        assert fec > plain
+
+
+class TestVoiceCallFEC:
+    def _lossy_paths(self, seed=1):
+        return [
+            PathQualityProcess(60.0, 0.08, congest_probability=0.0, seed=seed),
+            PathQualityProcess(70.0, 0.08, congest_probability=0.0, seed=seed + 1),
+        ]
+
+    def test_fec_improves_lossy_call(self):
+        plain = VoiceCall(
+            self._lossy_paths(),
+            CallConfig(windows=8, use_switching=False, seed=5),
+        ).run()
+        fec = VoiceCall(
+            self._lossy_paths(),
+            CallConfig(windows=8, use_switching=False, use_fec=True, seed=5),
+        ).run()
+        assert fec.mean_mos > plain.mean_mos
+
+    def test_fec_cheaper_than_diversity_but_weaker(self):
+        # Full duplication recovers more than 1-per-group FEC.
+        fec = VoiceCall(
+            self._lossy_paths(),
+            CallConfig(windows=8, use_switching=False, use_fec=True, seed=5),
+        ).run()
+        diversity = VoiceCall(
+            self._lossy_paths(),
+            CallConfig(windows=8, use_switching=False, use_diversity=True, seed=5),
+        ).run()
+        assert diversity.mean_mos >= fec.mean_mos - 0.05
+
+    def test_fec_and_diversity_exclusive(self):
+        with pytest.raises(ConfigurationError):
+            CallConfig(use_fec=True, use_diversity=True)
+
+    def test_fec_group_size_validated(self):
+        with pytest.raises(ConfigurationError):
+            CallConfig(use_fec=True, fec_group_size=1)
+
+    def test_single_path_fec_noop(self):
+        single = [PathQualityProcess(60.0, 0.05, congest_probability=0.0, seed=2)]
+        outcome = VoiceCall(
+            single, CallConfig(windows=4, use_switching=False, use_fec=True, seed=2)
+        ).run()
+        assert len(outcome.windows) == 4
