@@ -1,6 +1,12 @@
 """Micro-benchmarks of the hot substrate paths (true pytest-benchmark
 timings, multiple rounds): prefix-trie LPM, policy-tree construction,
-valley-free BFS, delegate-matrix assembly, and E-model scoring."""
+valley-free BFS, delegate-matrix assembly (serial and parallel), batch
+session evaluation, and E-model scoring."""
+
+import json
+import os
+import time
+from pathlib import Path
 
 import numpy as np
 
@@ -91,6 +97,77 @@ def test_bench_delegate_matrix(benchmark, eval_scenario):
         iterations=1,
     )
     assert matrices.count == len(small.clusters)
+
+
+def test_bench_matrix_parallel_vs_serial(eval_scenario):
+    """Serial vs all-CPU matrix assembly: bit-identical output, with the
+    timings (and speedup, when this machine has >1 core) recorded as a
+    baseline in ``benchmarks/BENCH_matrix.json``."""
+    from repro.scenario import subsample_scenario
+
+    small = subsample_scenario(eval_scenario, 0.25, seed=0)
+    workers = os.cpu_count() or 1
+
+    # Untimed warmup: the latency model memoizes policy trees on first
+    # use, and both timed runs (plus fork children, via copy-on-write)
+    # must see the same warmed state for the comparison to be fair.
+    compute_delegate_matrices(small.latency, small.clusters, workers=1)
+
+    t0 = time.perf_counter()
+    serial = compute_delegate_matrices(small.latency, small.clusters, workers=1)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = compute_delegate_matrices(
+        small.latency, small.clusters, workers=workers
+    )
+    parallel_s = time.perf_counter() - t0
+
+    # Bit-for-bit parity is unconditional — the parallel path is only a
+    # scheduling change, never a numeric one.
+    assert np.array_equal(serial.rtt_ms, parallel.rtt_ms)
+    assert np.array_equal(serial.loss, parallel.loss)
+    assert np.array_equal(serial.as_hops, parallel.as_hops)
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    baseline = {
+        "clusters": serial.count,
+        "cpu_count": workers,
+        "serial_seconds": round(serial_s, 4),
+        "parallel_seconds": round(parallel_s, 4),
+        "speedup": round(speedup, 3),
+        "bit_identical": True,
+    }
+    (Path(__file__).parent / "BENCH_matrix.json").write_text(
+        json.dumps(baseline, indent=2) + "\n"
+    )
+    # Speedup is only attainable with real cores behind the pool; on a
+    # single-CPU machine the fork overhead makes parallel a wash, so the
+    # throughput assertion is conditional on the hardware.
+    if workers >= 4:
+        assert speedup >= 2.0, baseline
+    elif workers >= 2:
+        assert speedup >= 1.2, baseline
+
+
+def test_bench_batch_session_eval(benchmark, eval_scenario, workload):
+    """Vectorized evaluate_sessions over every latent pair (the section 7
+    inner loop) for the costliest baseline, DEDI."""
+    from repro.baselines import BaselineConfig, DEDIMethod
+
+    latent = workload.latent(300.0)
+    pairs = [(s.caller_cluster, s.callee_cluster) for s in latent]
+    session_ids = [s.session_id for s in latent]
+    engine = DEDIMethod(
+        eval_scenario.matrices, eval_scenario.topology.graph, BaselineConfig()
+    )
+    results = benchmark(lambda: engine.evaluate_sessions(pairs, session_ids))
+    assert len(results) == len(pairs)
+    # Parity with the per-session reference loop on a spot-checked slice.
+    for k in (0, len(pairs) // 2, len(pairs) - 1):
+        loop = engine.evaluate_session(*pairs[k], session_ids[k])
+        assert results[k].quality_paths == loop.quality_paths
+        assert results[k].best_rtt_ms == loop.best_rtt_ms
 
 
 def test_bench_emodel(benchmark):

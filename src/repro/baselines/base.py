@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -66,6 +66,31 @@ class RelayMethod(ABC):
     @abstractmethod
     def evaluate_session(self, a: int, b: int, session_id: int = 0) -> MethodResult:
         """Evaluate a calling session between clusters ``a`` and ``b``."""
+
+    def evaluate_sessions(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        session_ids: Optional[Sequence[int]] = None,
+    ) -> List[MethodResult]:
+        """Evaluate a batch of sessions, one result per ``(a, b)`` pair.
+
+        This base implementation is the per-session reference loop;
+        subclasses override it with vectorized numpy evaluations that
+        produce identical results (asserted in the test suite).
+        """
+        if session_ids is None:
+            session_ids = range(len(pairs))
+        return [
+            self.evaluate_session(int(a), int(b), int(sid))
+            for (a, b), sid in zip(pairs, session_ids)
+        ]
+
+    @staticmethod
+    def _pair_arrays(pairs: Sequence[Tuple[int, int]]) -> Tuple[np.ndarray, np.ndarray]:
+        """Caller/callee cluster index arrays of a session batch."""
+        a = np.fromiter((p[0] for p in pairs), dtype=np.int64, count=len(pairs))
+        b = np.fromiter((p[1] for p in pairs), dtype=np.int64, count=len(pairs))
+        return a, b
 
     def _score_probes(
         self, a: int, b: int, relay_clusters: Sequence[int]

@@ -7,6 +7,8 @@ Section 7.1's "MIX probes 160 nodes, including 40 dedicated nodes and
 
 from __future__ import annotations
 
+from typing import List, Optional, Sequence, Tuple
+
 from repro.baselines.base import BaselineConfig, MethodResult, RelayMethod
 from repro.baselines.dedi import DEDIMethod
 from repro.baselines.rand import RANDMethod
@@ -34,6 +36,19 @@ class MIXMethod(RelayMethod):
     def evaluate_session(self, a: int, b: int, session_id: int = 0) -> MethodResult:
         dedi = self._dedi.evaluate_session(a, b, session_id)
         rand = self._rand.evaluate_session(a, b, session_id)
+        return self._combine(dedi, rand)
+
+    def evaluate_sessions(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        session_ids: Optional[Sequence[int]] = None,
+    ) -> List[MethodResult]:
+        """Batch evaluation: both component batches, combined per session."""
+        dedi = self._dedi.evaluate_sessions(pairs, session_ids)
+        rand = self._rand.evaluate_sessions(pairs, session_ids)
+        return [self._combine(d, r) for d, r in zip(dedi, rand)]
+
+    def _combine(self, dedi: MethodResult, rand: MethodResult) -> MethodResult:
         bests = [r for r in (dedi.best_rtt_ms, rand.best_rtt_ms) if r is not None]
         return MethodResult(
             method=self.name,

@@ -11,7 +11,7 @@ session (O(N²), numpy-vectorized).
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -47,11 +47,21 @@ class OPTMethod(RelayMethod):
         return idx, value
 
     def best_two_hop(self, a: int, b: int) -> Optional[float]:
-        """RTT of the optimal two-hop relay path (min-plus product)."""
+        """RTT of the optimal two-hop relay path (min-plus product).
+
+        Both endpoint clusters are masked out of the intermediate-hop
+        positions, mirroring :meth:`best_one_hop`: a path "through" an
+        endpoint's own cluster is really a one-hop or direct path (e.g.
+        ``rtt[a, j] + rtt[j, b] + rtt[b, b]``), not a two-hop overlay.
+        """
         rtt = self._matrices.rtt_ms
-        # w[i] = min_j ( rtt[i, j] + rtt[j, b] )
-        w = np.min(rtt + rtt[:, b][np.newaxis, :], axis=1)
-        path = rtt[a, :] + w + 2.0 * self._config.relay_delay_rtt_ms
+        second_leg = rtt[:, b].copy()
+        second_leg[[a, b]] = np.inf  # r2 may not be an endpoint cluster
+        # w[i] = min_{j ∉ {a,b}} ( rtt[i, j] + rtt[j, b] )
+        w = np.min(rtt + second_leg[np.newaxis, :], axis=1)
+        first_leg = rtt[a, :].copy()
+        first_leg[[a, b]] = np.inf  # r1 may not be an endpoint cluster
+        path = first_leg + w + 2.0 * self._config.relay_delay_rtt_ms
         best = float(np.min(path))
         return best if np.isfinite(best) else None
 
@@ -79,3 +89,44 @@ class OPTMethod(RelayMethod):
             messages=0,  # offline: no probe traffic
             probed_nodes=0,
         )
+
+    def evaluate_sessions(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        session_ids: Optional[Sequence[int]] = None,
+    ) -> List[MethodResult]:
+        """Vectorized batch evaluation: one-hop minima and quality counts
+        for all sessions in a few numpy operations (the two-hop min-plus
+        product stays per-session — it is already an O(N²) numpy kernel)."""
+        if len(pairs) == 0:
+            return []
+        a_arr, b_arr = self._pair_arrays(pairs)
+        rtt = self._matrices.rtt_ms
+        rows = np.arange(len(pairs))
+        path = rtt[a_arr, :] + rtt[:, b_arr].T + self._config.relay_delay_rtt_ms
+        path[rows, a_arr] = np.inf
+        path[rows, b_arr] = np.inf
+        one_hop_best = np.min(path, axis=1)
+        finite = np.isfinite(path)
+        quality_mask = finite & (path < self._config.lat_threshold_ms)
+        quality = quality_mask.astype(np.int64) @ self._matrices.sizes
+
+        results: List[MethodResult] = []
+        for k in range(len(pairs)):
+            candidates = []
+            if np.isfinite(one_hop_best[k]):
+                candidates.append(float(one_hop_best[k]))
+            if self._include_two_hop:
+                two_hop = self.best_two_hop(int(a_arr[k]), int(b_arr[k]))
+                if two_hop is not None:
+                    candidates.append(two_hop)
+            results.append(
+                MethodResult(
+                    method=self.name,
+                    quality_paths=int(quality[k]),
+                    best_rtt_ms=min(candidates) if candidates else None,
+                    messages=0,
+                    probed_nodes=0,
+                )
+            )
+        return results

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional
 
@@ -25,27 +26,43 @@ from repro.scenario import (
     ScenarioConfig,
     build_scenario,
     evaluation_config,
-    small_scenario,
-    tiny_scenario,
+    small_config,
+    tiny_config,
 )
 
 _SCALES = ("tiny", "small", "evaluation")
 
+_CONFIG_OF_SCALE = {
+    "tiny": tiny_config,
+    "small": small_config,
+    "evaluation": evaluation_config,
+}
 
-def _build(scale: str, seed: int) -> Scenario:
-    if scale == "tiny":
-        return tiny_scenario(seed)
-    if scale == "small":
-        return small_scenario(seed)
-    if scale == "evaluation":
-        return build_scenario(evaluation_config(seed))
-    raise ValueError(f"unknown scale {scale!r}")
+
+def _build(scale: str, seed: int, workers: Optional[int] = None,
+           cache_dir: Optional[str] = None) -> Scenario:
+    try:
+        config = _CONFIG_OF_SCALE[scale](seed)
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}") from None
+    return build_scenario(replace(config, workers=workers, cache_dir=cache_dir))
+
+
+def _build_from_args(args: argparse.Namespace) -> Scenario:
+    return _build(args.scale, args.seed, workers=args.workers,
+                  cache_dir=args.cache_dir)
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--scale", choices=_SCALES, default="small",
                         help="scenario size (default: small)")
     parser.add_argument("--seed", type=int, default=0, help="scenario seed")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="worker processes for matrix/close-set builds "
+                             "(0 = all CPUs; default: $REPRO_WORKERS or serial)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="artifact cache directory for built scenarios "
+                             "(default: $REPRO_CACHE_DIR or no caching)")
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -57,7 +74,7 @@ def cmd_generate(args: argparse.Namespace) -> int:
     )
     from repro.topology.bgpfeed import generate_rib_entries, generate_update_stream
 
-    scenario = _build(args.scale, args.seed)
+    scenario = _build_from_args(args)
     out = Path(args.output)
     out.mkdir(parents=True, exist_ok=True)
     entries = generate_rib_entries(
@@ -81,7 +98,7 @@ def cmd_section3(args: argparse.Namespace) -> int:
     from repro.evaluation.report import render_cdf_row, render_kv_table
     from repro.evaluation.section3 import run_section3
 
-    scenario = _build(args.scale, args.seed)
+    scenario = _build_from_args(args)
     result = run_section3(scenario, session_count=args.sessions, seed=args.seed)
     print(render_cdf_row("direct", result.direct_rtts, "ms"))
     print(render_cdf_row("opt 1-hop", result.optimal_one_hop, "ms"))
@@ -101,7 +118,7 @@ def cmd_section3(args: argparse.Namespace) -> int:
 def cmd_section5(args: argparse.Namespace) -> int:
     from repro.evaluation.section5 import run_section5
 
-    scenario = _build(args.scale, args.seed)
+    scenario = _build_from_args(args)
     study = run_section5(scenario, seed=args.seed)
     print("session  stabilization_s  probed  after_stab  asymmetric")
     for analysis, stab, probed, after in zip(
@@ -123,7 +140,7 @@ def cmd_section7(args: argparse.Namespace) -> int:
     from repro.evaluation.report import render_method_table
     from repro.evaluation.section7 import run_section7
 
-    scenario = _build(args.scale, args.seed)
+    scenario = _build_from_args(args)
     result = run_section7(
         scenario,
         session_count=args.sessions,
@@ -146,7 +163,7 @@ def cmd_scalability(args: argparse.Namespace) -> int:
     from repro.evaluation.report import render_kv_table
     from repro.evaluation.scalability import run_scalability
 
-    scenario = _build(args.scale, args.seed)
+    scenario = _build_from_args(args)
     result = run_scalability(
         scenario,
         session_count=args.sessions,
@@ -167,7 +184,7 @@ def cmd_call(args: argparse.Namespace) -> int:
     from repro.core import ASAPConfig, ASAPSystem
     from repro.core.config import derive_k_hops
 
-    scenario = _build(args.scale, args.seed)
+    scenario = _build_from_args(args)
     matrices = scenario.matrices
     system = ASAPSystem(scenario, ASAPConfig(k_hops=derive_k_hops(matrices)))
     rtt = matrices.rtt_ms.copy()
@@ -194,7 +211,7 @@ def cmd_limits(args: argparse.Namespace) -> int:
     from repro.skype.analyzer import TraceAnalyzer
     from repro.skype.limits import detect_limits
 
-    scenario = _build(args.scale, args.seed)
+    scenario = _build_from_args(args)
     study = run_skype_batch(scenario, session_count=args.sessions, seed=args.seed)
     analyzer = TraceAnalyzer(
         scenario.prefix_table,
@@ -219,6 +236,8 @@ def cmd_robustness(args: argparse.Namespace) -> int:
     base = ScenarioConfig(
         topology=TopologyConfig(tier1_count=5, tier2_count=40, tier3_count=250),
         population=PopulationConfig(host_count=2000),
+        workers=args.workers,
+        cache_dir=args.cache_dir,
     )
     seeds = tuple(range(args.seed, args.seed + args.worlds))
     results = seed_study(base, seeds=seeds, session_count=args.sessions, latent_target=30)
@@ -231,7 +250,7 @@ def cmd_robustness(args: argparse.Namespace) -> int:
 def cmd_figures(args: argparse.Namespace) -> int:
     from repro.evaluation.figures import export_all
 
-    scenario = _build(args.scale, args.seed)
+    scenario = _build_from_args(args)
     written = export_all(
         scenario,
         args.output,

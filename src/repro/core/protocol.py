@@ -25,7 +25,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.bootstrap import Bootstrap
-from repro.core.close_cluster import CloseClusterSet
+from repro.core.close_cluster import CloseClusterSet, construct_close_cluster_set
 from repro.core.config import ASAPConfig
 from repro.core.endhost import EndHost
 from repro.core.relay_selection import RelaySelection, select_close_relay
@@ -33,6 +33,7 @@ from repro.core.surrogate import Surrogate
 from repro.errors import ProtocolError
 from repro.netaddr import IPv4Address
 from repro.scenario import Scenario
+from repro.util.parallel import chunked, fork_available, resolve_workers, run_forked
 from repro.voip.quality import mos_of_path
 
 
@@ -112,6 +113,7 @@ class ASAPSystem:
         self._endhosts: Dict[IPv4Address, EndHost] = {}
         self._offline: set = set()
         self.sessions_run = 0
+        self._init_close_sets()
 
     # -- wiring ---------------------------------------------------------------
 
@@ -272,6 +274,78 @@ class ASAPSystem:
             bootstrap.register_surrogate(cluster.prefix, group[0].ip)
         return group[0]
 
+    # -- close-set maintenance -----------------------------------------------------
+
+    def _init_close_sets(self) -> None:
+        """Warm the close-set state according to the scenario's runtime knobs.
+
+        With an artifact cache configured, previously built close sets
+        (keyed by scenario config + protocol config) are installed
+        directly; otherwise, with ``workers > 1``, every primary's set is
+        prebuilt across a process pool.  With neither, construction stays
+        lazy per cluster exactly as before.
+        """
+        from repro.storage.cache import ScenarioCache, resolve_cache_dir
+
+        config = self._scenario.config
+        cache_root = resolve_cache_dir(config.cache_dir)
+        cache = (
+            ScenarioCache(cache_root)
+            if cache_root is not None and self._scenario.cacheable
+            else None
+        )
+        if cache is not None:
+            cached = cache.load_close_sets(config, self._config)
+            if cached is not None:
+                for idx, close_set in cached.items():
+                    group = self._surrogates.get(idx)
+                    if group is not None:
+                        group[0]._close_set = close_set
+                return
+        workers = resolve_workers(config.workers)
+        if cache is None and workers <= 1:
+            return  # lazy construction, the original behaviour
+        built = self.prebuild_close_sets(workers)
+        if cache is not None:
+            cache.save_close_sets(config, self._config, built)
+
+    def prebuild_close_sets(
+        self, workers: Optional[int] = None
+    ) -> Dict[int, CloseClusterSet]:
+        """Build every primary surrogate's close set, returning them all.
+
+        Each cluster's valley-free BFS is independent given the AS graph,
+        so with ``workers > 1`` the builds fan out over a fork-start
+        process pool (children inherit the system read-only); results are
+        identical to lazy serial construction.
+        """
+        count = resolve_workers(
+            self._scenario.config.workers if workers is None else workers
+        )
+        pending = [
+            idx
+            for idx, group in sorted(self._surrogates.items())
+            if group[0]._close_set is None
+        ]
+        if count > 1 and len(pending) > 1 and fork_available():
+            global _PREBUILD_SYSTEM
+            _PREBUILD_SYSTEM = self
+            try:
+                blocks = run_forked(
+                    _build_close_set_chunk,
+                    chunked(pending, count * 4),
+                    processes=count,
+                )
+            finally:
+                _PREBUILD_SYSTEM = None
+            for block in blocks:
+                for idx, close_set in block:
+                    self._surrogates[idx][0]._close_set = close_set
+        else:
+            for idx in pending:
+                self._surrogates[idx][0].close_set()
+        return {idx: group[0].close_set() for idx, group in self._surrogates.items()}
+
     # -- calling ------------------------------------------------------------------
 
     def close_set(self, cluster_index: int) -> CloseClusterSet:
@@ -324,3 +398,30 @@ class ASAPSystem:
             for group in self._surrogates.values()
             for member in group
         )
+
+
+#: Shared state slot for fork-start close-set prebuild workers.
+_PREBUILD_SYSTEM: Optional[ASAPSystem] = None
+
+
+def _build_close_set_chunk(indices: List[int]):
+    """Pool worker: construct the close sets of one chunk of clusters."""
+    system = _PREBUILD_SYSTEM
+    out = []
+    for idx in indices:
+        primary = system._surrogates[idx][0]
+        out.append(
+            (
+                idx,
+                construct_close_cluster_set(
+                    own_cluster=idx,
+                    own_as=primary.asn,
+                    graph=primary.graph,
+                    clusters_in_as=system.clusters_in_as,
+                    lat=system._probe_lat,
+                    loss=system._probe_loss,
+                    config=system._config,
+                ),
+            )
+        )
+    return out

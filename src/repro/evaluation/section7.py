@@ -111,21 +111,25 @@ def run_section7(
     asap_system = ASAPSystem(scenario, asap_config) if "ASAP" in methods else None
 
     result = Section7Result(latent_sessions=latent)
-    for name in engines:
-        result.records[name] = []
-    if asap_system is not None:
-        result.records["ASAP"] = []
 
-    for session in latent:
-        a, b = session.caller_cluster, session.callee_cluster
-        for name, engine in engines.items():
-            outcome = engine.evaluate_session(a, b, session.session_id)
-            result.records[name].append(
-                record_from_baseline(session.session_id, outcome)
+    # Baselines take the vectorized batch path: one evaluate_sessions
+    # call per method over every latent pair (identical results to the
+    # per-session loop, a fraction of the Python overhead).
+    pairs = [(s.caller_cluster, s.callee_cluster) for s in latent]
+    session_ids = [s.session_id for s in latent]
+    for name, engine in engines.items():
+        outcomes = engine.evaluate_sessions(pairs, session_ids)
+        result.records[name] = [
+            record_from_baseline(sid, outcome)
+            for sid, outcome in zip(session_ids, outcomes)
+        ]
+
+    if asap_system is not None:
+        result.records["ASAP"] = [
+            record_from_asap(
+                asap_system.call(session.caller, session.callee),
+                session.session_id,
             )
-        if asap_system is not None:
-            call = asap_system.call(session.caller, session.callee)
-            result.records["ASAP"].append(
-                record_from_asap(call, session.session_id)
-            )
+            for session in latent
+        ]
     return result

@@ -9,12 +9,17 @@ simulation replays its King measurements.
 The computation exploits the policy-routing trees: for each destination
 cluster's AS we walk every source AS's next-hop chain once with
 memoization, so the full N×N matrix costs O(N·V) instead of O(N²·path).
+
+Destination columns are mutually independent, so assembly optionally
+fans out over a fork-start process pool (``workers > 1``); the parallel
+path reuses the exact per-destination routine of the serial path and is
+bit-for-bit identical to it.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -23,6 +28,7 @@ from repro.netaddr import IPv4Address, IPv4Prefix
 from repro.measurement.latency import LatencyModel
 from repro.topology.clustering import Cluster, ClusterIndex
 from repro.topology.population import Host
+from repro.util.parallel import chunked, fork_available, resolve_workers, run_forked
 from repro.util.rng import derive_rng
 
 UNREACHABLE = np.inf
@@ -80,11 +86,24 @@ class DelegateMatrices:
         return 1.0 - (1.0 - float(self.loss[a, relay])) * (1.0 - float(self.loss[relay, b]))
 
 
+#: Shared read-only state published for fork-start workers (see
+#: :mod:`repro.util.parallel`); ``None`` outside a parallel assembly.
+_ASSEMBLY_STATE: Optional[tuple] = None
+
+
 def compute_delegate_matrices(
     model: LatencyModel,
     clusters: ClusterIndex,
+    workers: Optional[int] = None,
 ) -> DelegateMatrices:
-    """Compute RTT / loss / hop matrices between all cluster delegates."""
+    """Compute RTT / loss / hop matrices between all cluster delegates.
+
+    ``workers`` controls the fan-out over destination clusters: ``1``
+    (or ``None`` without ``$REPRO_WORKERS``) is the serial reference
+    path, ``<= 0`` uses all CPUs, and any higher count chunks the
+    destination columns across a fork-start process pool.  Output is
+    identical bit-for-bit regardless of the worker count.
+    """
     cluster_list = clusters.all_clusters()
     if not cluster_list:
         raise MeasurementError("no clusters to measure")
@@ -107,20 +126,28 @@ def compute_delegate_matrices(
     for i, asn in enumerate(asn_of):
         rows_of_as.setdefault(int(asn), []).append(i)
 
-    for j in range(n):
-        dest_as = int(asn_of[j])
-        tree = model.routing_tree(dest_as)
-        if tree is None:
-            continue
-        lat_to, loss_to, hops_to = _walk_tree(model, tree, unique_ases)
-        for src_as in unique_ases:
-            one_way = lat_to.get(src_as)
-            if one_way is None:
-                continue
-            for i in rows_of_as[src_as]:
-                rtt[i, j] = 2.0 * one_way + 2.0 * (access[i] + access[j])
-                loss[i, j] = loss_to[src_as]
-                hops[i, j] = hops_to[src_as]
+    worker_count = resolve_workers(workers)
+    if worker_count > 1 and n > 1 and fork_available():
+        global _ASSEMBLY_STATE
+        _ASSEMBLY_STATE = (model, unique_ases, rows_of_as, access, asn_of, n)
+        try:
+            # More chunks than workers smooths over uneven tree-walk
+            # costs (destination ASes differ in reachable-source count).
+            blocks = run_forked(
+                _assemble_columns,
+                chunked(list(range(n)), worker_count * 4),
+                processes=worker_count,
+            )
+        finally:
+            _ASSEMBLY_STATE = None
+        for columns, rtt_block, loss_block, hops_block in blocks:
+            rtt[:, columns] = rtt_block
+            loss[:, columns] = loss_block
+            hops[:, columns] = hops_block
+    else:
+        _fill_destinations(
+            range(n), model, unique_ases, rows_of_as, access, asn_of, rtt, loss, hops
+        )
 
     # Diagonal / same-cluster entries: intra-cluster latency only.
     for i in range(n):
@@ -139,6 +166,53 @@ def compute_delegate_matrices(
         loss=loss,
         as_hops=hops,
     )
+
+
+def _fill_destinations(
+    columns: Sequence[int],
+    model: LatencyModel,
+    unique_ases: List[int],
+    rows_of_as: Dict[int, List[int]],
+    access: np.ndarray,
+    asn_of: np.ndarray,
+    rtt: np.ndarray,
+    loss: np.ndarray,
+    hops: np.ndarray,
+) -> None:
+    """Fill the given destination columns of the (pre-sliced) matrices.
+
+    Both the serial path and every pool worker run exactly this routine,
+    which is what makes parallel assembly bit-for-bit reproducible.
+    """
+    for col, j in enumerate(columns):
+        dest_as = int(asn_of[j])
+        tree = model.routing_tree(dest_as)
+        if tree is None:
+            continue
+        lat_to, loss_to, hops_to = _walk_tree(model, tree, unique_ases)
+        for src_as in unique_ases:
+            one_way = lat_to.get(src_as)
+            if one_way is None:
+                continue
+            for i in rows_of_as[src_as]:
+                rtt[i, col] = 2.0 * one_way + 2.0 * (access[i] + access[j])
+                loss[i, col] = loss_to[src_as]
+                hops[i, col] = hops_to[src_as]
+
+
+def _assemble_columns(
+    columns: List[int],
+) -> Tuple[List[int], np.ndarray, np.ndarray, np.ndarray]:
+    """Pool worker: compute one chunk of destination columns."""
+    model, unique_ases, rows_of_as, access, asn_of, n = _ASSEMBLY_STATE
+    width = len(columns)
+    rtt = np.full((n, width), UNREACHABLE, dtype=float)
+    loss = np.full((n, width), 1.0, dtype=float)
+    hops = np.full((n, width), -1, dtype=np.int64)
+    _fill_destinations(
+        columns, model, unique_ases, rows_of_as, access, asn_of, rtt, loss, hops
+    )
+    return columns, rtt, loss, hops
 
 
 def _walk_tree(model: LatencyModel, tree, source_ases: List[int]):

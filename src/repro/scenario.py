@@ -15,7 +15,15 @@ A :class:`Scenario` is the reproduction of the paper's data pipeline
    the all-pairs delegate RTT/loss/hop matrices.
 
 Every stochastic choice derives from ``ScenarioConfig.seed``, so a config
-value uniquely determines the world.
+value uniquely determines the world.  That determinism powers two
+runtime knobs that never change results:
+
+- ``workers`` — fan matrix assembly (and ASAP close-set prebuilds) out
+  over a fork-start process pool; output is bit-for-bit identical to
+  the serial path;
+- ``cache_dir`` — a content-addressed artifact cache
+  (:mod:`repro.storage.cache`): warm :func:`build_scenario` calls load
+  the world and its matrices from disk instead of regenerating them.
 """
 
 from __future__ import annotations
@@ -64,6 +72,12 @@ class ScenarioConfig:
     # otherwise.
     hierarchical_prefixes: bool = False
     seed: int = 0
+    # Runtime-only knobs — they control how a world is built, never what
+    # is built, and are excluded from artifact-cache keys.  ``workers``:
+    # None defers to $REPRO_WORKERS (else serial), <= 0 means all CPUs.
+    # ``cache_dir``: None defers to $REPRO_CACHE_DIR (else no caching).
+    workers: Optional[int] = None
+    cache_dir: Optional[str] = None
 
     def with_seed(self, seed: int) -> "ScenarioConfig":
         """This config re-seeded everywhere (topology/population/conditions)."""
@@ -91,6 +105,10 @@ class Scenario:
     clusters: ClusterIndex
     latency: LatencyModel
     _matrices: Optional[DelegateMatrices] = field(default=None, repr=False)
+    # False for derived worlds (subsampled populations, measured-matrix
+    # views) whose contents no longer match their config's cache key;
+    # the artifact cache refuses to serve or store them.
+    cacheable: bool = field(default=True, repr=False)
 
     @property
     def protocol_graph(self) -> ASGraph:
@@ -101,7 +119,9 @@ class Scenario:
     def matrices(self) -> DelegateMatrices:
         """All-pairs delegate matrices, computed on first use and cached."""
         if self._matrices is None:
-            self._matrices = compute_delegate_matrices(self.latency, self.clusters)
+            self._matrices = compute_delegate_matrices(
+                self.latency, self.clusters, workers=self.config.workers
+            )
         return self._matrices
 
     def with_measured_matrices(
@@ -138,13 +158,32 @@ class Scenario:
             clusters=self.clusters,
             latency=self.latency,
             _matrices=noisy,
+            cacheable=False,
         )
 
 
 def build_scenario(config: ScenarioConfig = ScenarioConfig()) -> Scenario:
-    """Build a scenario from its config (deterministic in ``config``)."""
+    """Build a scenario from its config (deterministic in ``config``).
+
+    With a cache directory configured (``config.cache_dir`` or
+    ``$REPRO_CACHE_DIR``), a warm call loads the previously built world
+    — topology, BGP state, population, *and* delegate matrices — from
+    disk instead of regenerating anything; a cold call builds, computes
+    the matrices, and persists the artifacts for the next run.
+    """
+    from repro.storage.cache import ScenarioCache, resolve_cache_dir
+
+    cache_root = resolve_cache_dir(config.cache_dir)
+    cache = ScenarioCache(cache_root) if cache_root is not None else None
+    if cache is not None:
+        cached = cache.load(config)
+        if cached is not None:
+            return cached
     topology = generate_topology(config.topology)
-    return build_scenario_from_topology(topology, config)
+    scenario = build_scenario_from_topology(topology, config)
+    if cache is not None:
+        cache.save(scenario)  # forces matrix computation before persisting
+    return scenario
 
 
 def build_scenario_from_topology(
@@ -234,24 +273,34 @@ def subsample_scenario(scenario: Scenario, fraction: float, seed: int = 0) -> Sc
         population=population,
         clusters=clusters,
         latency=latency,
+        cacheable=False,
     )
 
 
-def tiny_scenario(seed: int = 0) -> Scenario:
-    """A very small world for unit tests (sub-second build)."""
-    config = ScenarioConfig(
+def tiny_config(seed: int = 0) -> ScenarioConfig:
+    """Config of the very small unit-test world."""
+    return ScenarioConfig(
         topology=TopologyConfig(tier1_count=3, tier2_count=10, tier3_count=40, seed=seed),
         population=PopulationConfig(host_count=300, seed=seed),
         conditions=ConditionsConfig(seed=seed),
         vantage_count=5,
         seed=seed,
     )
-    return build_scenario(config)
+
+
+def tiny_scenario(seed: int = 0) -> Scenario:
+    """A very small world for unit tests (sub-second build)."""
+    return build_scenario(tiny_config(seed))
+
+
+def small_config(seed: int = 0) -> ScenarioConfig:
+    """Config of the mid-size world (~350 clusters, ~3k hosts)."""
+    return ScenarioConfig().with_seed(seed)
 
 
 def small_scenario(seed: int = 0) -> Scenario:
     """A mid-size world (~350 clusters, ~3k hosts): examples, quick runs."""
-    return build_scenario(ScenarioConfig().with_seed(seed))
+    return build_scenario(small_config(seed))
 
 
 def evaluation_config(seed: int = 0) -> ScenarioConfig:

@@ -22,14 +22,24 @@ from repro.storage.artifacts import (
     save_records_csv,
     save_records_json,
 )
+from repro.storage.cache import (
+    SCHEMA_VERSION,
+    ScenarioCache,
+    resolve_cache_dir,
+    scenario_cache_key,
+)
 
 __all__ = [
+    "SCHEMA_VERSION",
+    "ScenarioCache",
     "load_matrices",
     "load_records_csv",
     "read_asgraph_file",
     "read_rib_file",
     "read_update_file",
+    "resolve_cache_dir",
     "save_matrices",
+    "scenario_cache_key",
     "save_records_csv",
     "save_records_json",
     "write_asgraph_file",

@@ -12,14 +12,16 @@ from __future__ import annotations
 import csv
 import json
 from pathlib import Path
-from typing import List, Sequence, Union
+from typing import TYPE_CHECKING, List, Sequence, Union
 
 import numpy as np
 
 from repro.errors import ReproError
-from repro.evaluation.metrics import MethodRecord
 from repro.measurement.matrix import DelegateMatrices
 from repro.netaddr import IPv4Prefix
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a package cycle
+    from repro.evaluation.metrics import MethodRecord
 
 PathLike = Union[str, Path]
 
@@ -92,8 +94,10 @@ def save_records_csv(path: PathLike, records: Sequence[MethodRecord]) -> int:
     return len(records)
 
 
-def load_records_csv(path: PathLike) -> List[MethodRecord]:
+def load_records_csv(path: PathLike) -> List["MethodRecord"]:
     """Read method records written by :func:`save_records_csv`."""
+    from repro.evaluation.metrics import MethodRecord
+
     records: List[MethodRecord] = []
     with Path(path).open(newline="", encoding="utf-8") as handle:
         reader = csv.DictReader(handle)

@@ -1,0 +1,196 @@
+"""Content-addressed on-disk cache of built scenarios and close sets.
+
+Every experiment replays the same simulated worlds: a
+:class:`~repro.scenario.ScenarioConfig` plus its seed uniquely determine
+the topology, BGP feed, population, latency ground truth and delegate
+matrices.  Rebuilding all of that per process is pure waste, so builds
+can be persisted once and reloaded byte-identically.
+
+Layout, under a cache root (``--cache-dir`` / ``$REPRO_CACHE_DIR``)::
+
+    <root>/<key>/meta.json            # schema version, config echo
+    <root>/<key>/scenario.pkl.gz      # world minus matrices (pickle)
+    <root>/<key>/matrices.npz         # delegate matrices (npz archive)
+    <root>/<key>/close_sets-<k>.pkl.gz  # per-ASAPConfig close sets
+
+``<key>`` is a SHA-256 digest over the canonical JSON of the scenario
+config (runtime-only fields — worker count, cache directory — excluded)
+plus :data:`SCHEMA_VERSION`.  Any change to what a config value means
+must bump the schema version, which invalidates every existing entry;
+changing any world-determining config field changes the key, so stale
+entries are never returned.  Writes go through a temp file + rename so
+concurrent runs only ever observe complete artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import gzip
+import hashlib
+import json
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.storage.artifacts import load_matrices, save_matrices
+
+PathLike = Union[str, Path]
+
+#: Bump whenever the semantics of cached artifacts change (pickle layout,
+#: matrix contents, close-set construction): old entries become unreadable
+#: by key mismatch rather than silently wrong.
+SCHEMA_VERSION = 1
+
+#: Environment override for the cache root when no explicit directory is
+#: configured.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Config fields that do not determine the world and are excluded from
+#: cache keys (they only control how the build is executed).
+_RUNTIME_FIELDS = ("workers", "cache_dir")
+
+
+def resolve_cache_dir(cache_dir: Optional[PathLike] = None) -> Optional[Path]:
+    """Resolve the cache root: explicit setting, else ``$REPRO_CACHE_DIR``,
+    else ``None`` (caching disabled)."""
+    if cache_dir is not None:
+        return Path(cache_dir)
+    env = os.environ.get(CACHE_DIR_ENV, "").strip()
+    return Path(env) if env else None
+
+
+def _canonical_config(config) -> dict:
+    payload = dataclasses.asdict(config)
+    for name in _RUNTIME_FIELDS:
+        payload.pop(name, None)
+    return payload
+
+
+def scenario_cache_key(config) -> str:
+    """Stable content hash of a scenario config (+ schema version)."""
+    payload = {"schema": SCHEMA_VERSION, "config": _canonical_config(config)}
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
+
+
+def asap_config_key(asap_config) -> str:
+    """Stable content hash of an ASAP protocol config (for close sets)."""
+    payload = {
+        "schema": SCHEMA_VERSION,
+        "config": dataclasses.asdict(asap_config),
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:12]
+
+
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    handle, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name + ".")
+    try:
+        with os.fdopen(handle, "wb") as tmp:
+            tmp.write(data)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class ScenarioCache:
+    """Load/store scenarios (and their close sets) under one cache root."""
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+
+    def dir_for(self, config) -> Path:
+        return self.root / scenario_cache_key(config)
+
+    # -- scenarios ---------------------------------------------------------
+
+    def has(self, config) -> bool:
+        entry = self.dir_for(config)
+        return (entry / "meta.json").exists() and (
+            entry / "scenario.pkl.gz"
+        ).exists() and (entry / "matrices.npz").exists()
+
+    def load(self, config):
+        """The cached scenario for ``config``, or ``None`` on a cold miss.
+
+        The returned scenario carries the *requested* config object, so
+        runtime fields (worker count, cache directory) follow the caller
+        rather than whatever run populated the cache.
+        """
+        if not self.has(config):
+            return None
+        entry = self.dir_for(config)
+        try:
+            meta = json.loads((entry / "meta.json").read_text(encoding="utf-8"))
+            if meta.get("schema") != SCHEMA_VERSION:
+                return None
+            with gzip.open(entry / "scenario.pkl.gz", "rb") as handle:
+                scenario = pickle.load(handle)
+            scenario._matrices = load_matrices(entry / "matrices.npz")
+        except (OSError, EOFError, pickle.UnpicklingError, json.JSONDecodeError):
+            return None  # partial/corrupt entry: treat as a miss
+        scenario.config = config
+        return scenario
+
+    def save(self, scenario) -> Path:
+        """Persist a built scenario (forces matrix computation first)."""
+        if not getattr(scenario, "cacheable", True):
+            raise ValueError(
+                "refusing to cache a derived scenario (subsampled or "
+                "measured view): its contents do not match its config key"
+            )
+        matrices = scenario.matrices  # materialize before stripping
+        entry = self.dir_for(scenario.config)
+        entry.mkdir(parents=True, exist_ok=True)
+        bare = dataclasses.replace(scenario, _matrices=None)
+        _atomic_write_bytes(
+            entry / "scenario.pkl.gz",
+            gzip.compress(pickle.dumps(bare, protocol=pickle.HIGHEST_PROTOCOL)),
+        )
+        # The temp name must keep the .npz suffix (numpy appends it otherwise).
+        tmp_npz = entry / "matrices.tmp.npz"
+        save_matrices(tmp_npz, matrices)
+        os.replace(tmp_npz, entry / "matrices.npz")
+        meta = {
+            "schema": SCHEMA_VERSION,
+            "key": scenario_cache_key(scenario.config),
+            "config": _canonical_config(scenario.config),
+            "clusters": matrices.count,
+            "hosts": len(scenario.population),
+        }
+        _atomic_write_bytes(
+            entry / "meta.json",
+            json.dumps(meta, indent=2, sort_keys=True, default=str).encode("utf-8"),
+        )
+        return entry
+
+    # -- close cluster sets ------------------------------------------------
+
+    def _close_set_path(self, config, asap_config) -> Path:
+        return self.dir_for(config) / f"close_sets-{asap_config_key(asap_config)}.pkl.gz"
+
+    def load_close_sets(self, config, asap_config) -> Optional[Dict[int, object]]:
+        """Cached ``{cluster index: CloseClusterSet}`` mapping, or ``None``."""
+        path = self._close_set_path(config, asap_config)
+        if not path.exists():
+            return None
+        try:
+            with gzip.open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, EOFError, pickle.UnpicklingError):
+            return None
+
+    def save_close_sets(self, config, asap_config, close_sets: Dict[int, object]) -> Path:
+        path = self._close_set_path(config, asap_config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        _atomic_write_bytes(
+            path,
+            gzip.compress(pickle.dumps(close_sets, protocol=pickle.HIGHEST_PROTOCOL)),
+        )
+        return path

@@ -1,5 +1,7 @@
-"""Shared utilities: deterministic RNG plumbing and distribution helpers."""
+"""Shared utilities: deterministic RNG plumbing, distribution helpers,
+and multiprocess fan-out support."""
 
+from repro.util.parallel import chunked, fork_available, resolve_workers
 from repro.util.rng import derive_rng, spawn_rngs
 from repro.util.stats import (
     ccdf_points,
@@ -13,8 +15,11 @@ __all__ = [
     "DistributionSummary",
     "ccdf_points",
     "cdf_points",
+    "chunked",
     "derive_rng",
+    "fork_available",
     "percentile",
+    "resolve_workers",
     "spawn_rngs",
     "summarize",
 ]

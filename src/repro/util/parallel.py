@@ -1,0 +1,86 @@
+"""Multiprocess fan-out helpers for the evaluation substrate.
+
+The heavy substrate computations — per-destination policy-tree walks in
+:func:`repro.measurement.matrix.compute_delegate_matrices` and the
+per-surrogate valley-free BFS in close-cluster-set construction — are
+embarrassingly parallel: each unit of work is independent given the
+shared read-only world (topology, AS graph, latency model).
+
+On POSIX we exploit that with ``fork``-start worker pools whose children
+inherit the world by copy-on-write memory instead of pickling it; the
+parent publishes the shared state in a module-level slot immediately
+before forking and clears it afterwards.  Platforms without ``fork``
+(and ``workers=1``) take the serial path, which is always the reference
+implementation — parallel output is asserted bit-for-bit identical in
+the test suite.
+
+Worker-count resolution order (most to least specific):
+
+1. an explicit integer (``workers=4``);
+2. ``workers <= 0`` → all CPUs (``os.cpu_count()``);
+3. ``workers=None`` → the ``REPRO_WORKERS`` environment variable when
+   set, else serial.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+#: Environment override consulted when no explicit worker count is given.
+WORKERS_ENV = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Resolve a worker-count setting to a concrete positive integer.
+
+    ``None`` defers to ``$REPRO_WORKERS`` (absent/empty → 1, i.e. serial);
+    zero or negative means "all CPUs".
+    """
+    if workers is None:
+        env = os.environ.get(WORKERS_ENV, "").strip()
+        if not env:
+            return 1
+        try:
+            workers = int(env)
+        except ValueError:
+            raise ValueError(f"${WORKERS_ENV} must be an integer, got {env!r}") from None
+    if workers <= 0:
+        workers = os.cpu_count() or 1
+    return max(1, int(workers))
+
+
+def fork_available() -> bool:
+    """Whether fork-start process pools exist on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def chunked(items: Sequence[T], chunk_count: int) -> List[List[T]]:
+    """Split a sequence into up to ``chunk_count`` contiguous chunks of
+    near-equal size (empty chunks are dropped)."""
+    total = len(items)
+    chunk_count = max(1, min(chunk_count, total))
+    base, extra = divmod(total, chunk_count)
+    chunks: List[List[T]] = []
+    start = 0
+    for index in range(chunk_count):
+        size = base + (1 if index < extra else 0)
+        if size == 0:
+            continue
+        chunks.append(list(items[start : start + size]))
+        start += size
+    return chunks
+
+
+def run_forked(worker, chunks: Iterable[Sequence], processes: int) -> List:
+    """``pool.map`` over chunks with a fork-start pool.
+
+    The caller is responsible for having published any shared state in a
+    module-level slot that ``worker`` reads (fork children inherit it).
+    """
+    context = multiprocessing.get_context("fork")
+    with context.Pool(processes=processes) as pool:
+        return pool.map(worker, list(chunks))

@@ -162,6 +162,37 @@ class TestOPT:
         path[b] = np.inf
         assert best == pytest.approx(float(np.min(path)))
 
+    def test_two_hop_excludes_endpoints_as_intermediates(self):
+        # Regression: the vectorized min-plus two-hop used to let the
+        # endpoints themselves serve as intermediate hops, so the
+        # degenerate "path" a -> b -> b -> b (three legs of the direct
+        # route plus zero-length self-legs) undercut every genuine
+        # two-hop relay path.  Here the direct RTT is 5 ms while every
+        # leg through the only real intermediates (clusters 2, 3) costs
+        # 100 ms — the buggy answer would be 5 ms + 2*delay.
+        from repro.measurement.matrix import DelegateMatrices
+        from repro.netaddr.ipv4 import IPv4Prefix
+
+        n = 4
+        rtt = np.full((n, n), 100.0)
+        np.fill_diagonal(rtt, 0.0)
+        rtt[0, 1] = rtt[1, 0] = 5.0
+        prefixes = [IPv4Prefix(i << 24, 8) for i in range(1, n + 1)]
+        matrices = DelegateMatrices(
+            prefixes=prefixes,
+            index_of={p: i for i, p in enumerate(prefixes)},
+            asn_of=np.arange(n, dtype=np.int64),
+            sizes=np.ones(n, dtype=np.int64),
+            rtt_ms=rtt,
+            loss=np.zeros((n, n)),
+            as_hops=np.ones((n, n), dtype=np.int64),
+        )
+        config = BaselineConfig()
+        opt = OPTMethod(matrices, config)
+        two = opt.best_two_hop(0, 1)
+        # Best legitimate path: 0 -> 2 -> 2 -> 1 (i == j allowed).
+        assert two == pytest.approx(200.0 + 2 * config.relay_delay_rtt_ms)
+
     def test_two_hop_at_least_as_good_with_extra_delay(self, world):
         _, matrices, _ = world
         opt = OPTMethod(matrices)

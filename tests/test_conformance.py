@@ -131,13 +131,17 @@ class TestOptConformance:
 
 
 def reference_two_hop(matrices, a, b, relay_delay=40.0):
-    """Oracle: O(N²) loop over relay cluster pairs (i may equal j is
-    excluded implicitly by the path shape i→j; i == j allowed as in the
-    vectorized min-plus formulation)."""
+    """Oracle: O(N²) loop over relay cluster pairs.  The endpoints are
+    not eligible intermediates (a host cannot relay its own call);
+    i == j is allowed, as in the vectorized min-plus formulation."""
     best = None
     n = matrices.count
     for i in range(n):
+        if i in (a, b):
+            continue
         for j in range(n):
+            if j in (a, b):
+                continue
             rtt = (
                 matrices.rtt_ms[a, i]
                 + matrices.rtt_ms[i, j]
