@@ -16,9 +16,11 @@ Quick tour of the public API:
 """
 
 from repro.scenario import (
+    SCALES,
     Scenario,
     ScenarioConfig,
     build_scenario,
+    config_for_scale,
     default_scenario,
     evaluation_config,
     small_scenario,
@@ -28,9 +30,11 @@ from repro.scenario import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "SCALES",
     "Scenario",
     "ScenarioConfig",
     "build_scenario",
+    "config_for_scale",
     "default_scenario",
     "evaluation_config",
     "small_scenario",

@@ -11,7 +11,7 @@ All methods score relay paths against the same delegate matrices ASAP
 uses, so differences come purely from *which* relays each one considers.
 """
 
-from repro.baselines.base import BaselineConfig, MethodResult, RelayMethod
+from repro.baselines.base import BaselineConfig, MethodResult, RelayMethod, RelayPolicy
 from repro.baselines.dedi import DEDIMethod
 from repro.baselines.rand import RANDMethod
 from repro.baselines.mix import MIXMethod
@@ -25,4 +25,5 @@ __all__ = [
     "OPTMethod",
     "RANDMethod",
     "RelayMethod",
+    "RelayPolicy",
 ]

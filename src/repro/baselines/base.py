@@ -4,7 +4,14 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import (
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    runtime_checkable,
+)
 
 import numpy as np
 
@@ -13,7 +20,7 @@ from repro.measurement.matrix import DelegateMatrices
 from repro.util.rng import derive_rng
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class BaselineConfig:
     """Probe budgets of the baseline methods — the paper's Section 7.1
     values: DEDI probes 80 dedicated nodes, RAND 200 random nodes, MIX
@@ -37,23 +44,63 @@ class BaselineConfig:
 
 @dataclass(frozen=True)
 class MethodResult:
-    """One method's outcome on one session."""
+    """One method's outcome on one session.
+
+    ``one_hop_quality_paths`` is filled only by methods that distinguish
+    one-hop relay IPs from two-hop IP *pairs* (ASAP); for pure probing
+    baselines it stays ``None`` and consumers fall back to
+    ``quality_paths``.
+    """
 
     method: str
     quality_paths: int
     best_rtt_ms: Optional[float]
     messages: int
     probed_nodes: int
+    one_hop_quality_paths: Optional[int] = None
+
+
+@runtime_checkable
+class RelayPolicy(Protocol):
+    """Anything Section 7 can evaluate over a batch of cluster pairs.
+
+    A policy has a ``name`` (the method label in records and tables) and
+    one primitive, ``evaluate_sessions``: given the caller/callee cluster
+    index pairs of a session batch (plus optional per-session ids for
+    deterministic RNG namespacing), return one :class:`MethodResult` per
+    pair, in order.  The probing baselines (:class:`RelayMethod`
+    subclasses) and the ASAP adapter
+    (:class:`repro.evaluation.policies.ASAPPolicy`) both satisfy it, so
+    experiment runners iterate an arbitrary policy list instead of
+    hard-coding per-method branches.
+    """
+
+    name: str
+
+    def evaluate_sessions(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        session_ids: Optional[Sequence[int]] = None,
+    ) -> List[MethodResult]:
+        """One result per ``(caller_cluster, callee_cluster)`` pair."""
+        ...
 
 
 class RelayMethod(ABC):
-    """A relay node selection method evaluated at cluster granularity."""
+    """A relay node selection method evaluated at cluster granularity.
+
+    The batch :meth:`evaluate_sessions` is the abstract primitive —
+    subclasses implement it (vectorized where possible); the per-session
+    :meth:`evaluate_session` is a thin delegating wrapper over it.
+    """
 
     name: str = "abstract"
 
-    def __init__(self, matrices: DelegateMatrices, config: BaselineConfig = BaselineConfig()) -> None:
+    def __init__(
+        self, matrices: DelegateMatrices, config: Optional[BaselineConfig] = None
+    ) -> None:
         self._matrices = matrices
-        self._config = config
+        self._config = config if config is not None else BaselineConfig()
 
     @property
     def matrices(self) -> DelegateMatrices:
@@ -63,27 +110,18 @@ class RelayMethod(ABC):
     def config(self) -> BaselineConfig:
         return self._config
 
-    @abstractmethod
     def evaluate_session(self, a: int, b: int, session_id: int = 0) -> MethodResult:
-        """Evaluate a calling session between clusters ``a`` and ``b``."""
+        """Evaluate one calling session between clusters ``a`` and ``b``
+        (delegates to the batch primitive)."""
+        return self.evaluate_sessions([(int(a), int(b))], [int(session_id)])[0]
 
+    @abstractmethod
     def evaluate_sessions(
         self,
         pairs: Sequence[Tuple[int, int]],
         session_ids: Optional[Sequence[int]] = None,
     ) -> List[MethodResult]:
-        """Evaluate a batch of sessions, one result per ``(a, b)`` pair.
-
-        This base implementation is the per-session reference loop;
-        subclasses override it with vectorized numpy evaluations that
-        produce identical results (asserted in the test suite).
-        """
-        if session_ids is None:
-            session_ids = range(len(pairs))
-        return [
-            self.evaluate_session(int(a), int(b), int(sid))
-            for (a, b), sid in zip(pairs, session_ids)
-        ]
+        """Evaluate a batch of sessions, one result per ``(a, b)`` pair."""
 
     @staticmethod
     def _pair_arrays(pairs: Sequence[Tuple[int, int]]) -> Tuple[np.ndarray, np.ndarray]:

@@ -29,28 +29,17 @@ class DEDIMethod(RelayMethod):
         self,
         matrices: DelegateMatrices,
         graph: ASGraph,
-        config: BaselineConfig = BaselineConfig(),
+        config: Optional[BaselineConfig] = None,
         fleet_size: Optional[int] = None,
     ) -> None:
         super().__init__(matrices, config)
-        size = config.dedicated_count if fleet_size is None else fleet_size
+        size = self._config.dedicated_count if fleet_size is None else fleet_size
         self._fleet = _top_degree_clusters(matrices, graph, size)
 
     @property
     def fleet(self) -> List[int]:
         """Cluster indices hosting the dedicated relay nodes."""
         return list(self._fleet)
-
-    def evaluate_session(self, a: int, b: int, session_id: int = 0) -> MethodResult:
-        candidates = [c for c in self._fleet if c != a and c != b]
-        quality, best = self._score_probes(a, b, candidates)
-        return MethodResult(
-            method=self.name,
-            quality_paths=quality,
-            best_rtt_ms=best,
-            messages=2 * len(candidates),
-            probed_nodes=len(candidates),
-        )
 
     def evaluate_sessions(
         self,

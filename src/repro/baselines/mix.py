@@ -25,18 +25,14 @@ class MIXMethod(RelayMethod):
         self,
         matrices: DelegateMatrices,
         graph: ASGraph,
-        config: BaselineConfig = BaselineConfig(),
+        config: Optional[BaselineConfig] = None,
     ) -> None:
         super().__init__(matrices, config)
+        config = self._config
         self._dedi = DEDIMethod(matrices, graph, config, fleet_size=config.mix_dedicated)
         self._rand = RANDMethod(matrices, config, probes=config.mix_random)
         # Share the RNG namespace with MIX so results differ from RAND's.
         self._rand.name = "MIX"
-
-    def evaluate_session(self, a: int, b: int, session_id: int = 0) -> MethodResult:
-        dedi = self._dedi.evaluate_session(a, b, session_id)
-        rand = self._rand.evaluate_session(a, b, session_id)
-        return self._combine(dedi, rand)
 
     def evaluate_sessions(
         self,

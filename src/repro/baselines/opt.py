@@ -27,7 +27,7 @@ class OPTMethod(RelayMethod):
     def __init__(
         self,
         matrices: DelegateMatrices,
-        config: BaselineConfig = BaselineConfig(),
+        config: Optional[BaselineConfig] = None,
         include_two_hop: bool = True,
     ) -> None:
         super().__init__(matrices, config)
@@ -64,31 +64,6 @@ class OPTMethod(RelayMethod):
         path = first_leg + w + 2.0 * self._config.relay_delay_rtt_ms
         best = float(np.min(path))
         return best if np.isfinite(best) else None
-
-    def evaluate_session(self, a: int, b: int, session_id: int = 0) -> MethodResult:
-        _, one_hop = self.best_one_hop(a, b)
-        candidates = [r for r in (one_hop,) if r is not None]
-        if self._include_two_hop:
-            two_hop = self.best_two_hop(a, b)
-            if two_hop is not None:
-                candidates.append(two_hop)
-        best = min(candidates) if candidates else None
-
-        # Quality-path count for OPT = every individual relay IP whose
-        # one-hop path passes the threshold (all data on hand).
-        rtt = self._matrices.rtt_ms
-        path = rtt[a, :] + rtt[:, b] + self._config.relay_delay_rtt_ms
-        mask = np.isfinite(path) & (path < self._config.lat_threshold_ms)
-        mask[a] = False
-        mask[b] = False
-        quality = int(np.sum(self._matrices.sizes[mask]))
-        return MethodResult(
-            method=self.name,
-            quality_paths=quality,
-            best_rtt_ms=best,
-            messages=0,  # offline: no probe traffic
-            probed_nodes=0,
-        )
 
     def evaluate_sessions(
         self,

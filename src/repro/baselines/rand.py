@@ -25,32 +25,16 @@ class RANDMethod(RelayMethod):
     def __init__(
         self,
         matrices: DelegateMatrices,
-        config: BaselineConfig = BaselineConfig(),
-        probes: int = None,
+        config: Optional[BaselineConfig] = None,
+        probes: Optional[int] = None,
     ) -> None:
         super().__init__(matrices, config)
-        self._probes = config.random_probes if probes is None else probes
+        self._probes = self._config.random_probes if probes is None else probes
         # Node draws are weighted by cluster occupancy: probing a random
         # *peer* lands in a cluster with probability ∝ its population.
         sizes = matrices.sizes.astype(float)
         total = sizes.sum()
         self._weights = sizes / total if total > 0 else None
-
-    def evaluate_session(self, a: int, b: int, session_id: int = 0) -> MethodResult:
-        rng = self._session_rng(session_id)
-        n = self._matrices.count
-        if self._weights is None or n == 0 or self._probes == 0:
-            return MethodResult(self.name, 0, None, 0, 0)
-        draws = rng.choice(n, size=self._probes, replace=True, p=self._weights)
-        candidates = [int(c) for c in draws if c != a and c != b]
-        quality, best = self._score_probes(a, b, candidates)
-        return MethodResult(
-            method=self.name,
-            quality_paths=quality,
-            best_rtt_ms=best,
-            messages=2 * len(candidates),
-            probed_nodes=len(candidates),
-        )
 
     def evaluate_sessions(
         self,

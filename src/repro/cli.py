@@ -15,46 +15,21 @@ from __future__ import annotations
 
 import argparse
 import sys
-from dataclasses import replace
 from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
 
-from repro.scenario import (
-    Scenario,
-    ScenarioConfig,
-    build_scenario,
-    evaluation_config,
-    small_config,
-    tiny_config,
-)
-
-_SCALES = ("tiny", "small", "evaluation")
-
-_CONFIG_OF_SCALE = {
-    "tiny": tiny_config,
-    "small": small_config,
-    "evaluation": evaluation_config,
-}
-
-
-def _build(scale: str, seed: int, workers: Optional[int] = None,
-           cache_dir: Optional[str] = None) -> Scenario:
-    try:
-        config = _CONFIG_OF_SCALE[scale](seed)
-    except KeyError:
-        raise ValueError(f"unknown scale {scale!r}") from None
-    return build_scenario(replace(config, workers=workers, cache_dir=cache_dir))
+from repro import obs
+from repro.scenario import SCALES, Scenario, ScenarioConfig, build_scenario
 
 
 def _build_from_args(args: argparse.Namespace) -> Scenario:
-    return _build(args.scale, args.seed, workers=args.workers,
-                  cache_dir=args.cache_dir)
+    return build_scenario(ScenarioConfig.from_cli_args(args))
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--scale", choices=_SCALES, default="small",
+    parser.add_argument("--scale", choices=SCALES, default="small",
                         help="scenario size (default: small)")
     parser.add_argument("--seed", type=int, default=0, help="scenario seed")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
@@ -63,6 +38,12 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="artifact cache directory for built scenarios "
                              "(default: $REPRO_CACHE_DIR or no caching)")
+    parser.add_argument("--obs-dir", default=None, metavar="DIR",
+                        help="enable observability: write run_manifest.json "
+                             "and events.jsonl to this directory")
+    parser.add_argument("--log-level", choices=obs.LOG_LEVELS, default="info",
+                        help="event level written to events.jsonl "
+                             "(default: info; requires --obs-dir)")
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -150,6 +131,9 @@ def cmd_section7(args: argparse.Namespace) -> int:
     )
     print(f"latent sessions: {len(result.latent_sessions)}")
     print(render_method_table(result.summaries()))
+    if "ASAP" in result.records:
+        total = sum(r.messages for r in result.records["ASAP"])
+        print(f"ASAP relay-selection messages (total): {total}")
     if args.records:
         from repro.storage import save_records_csv
 
@@ -326,7 +310,22 @@ def make_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = make_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    obs_dir = getattr(args, "obs_dir", None)
+    if obs_dir is None:
+        return args.func(args)
+    obs.start_run(
+        obs_dir=obs_dir,
+        command=args.command,
+        argv=list(sys.argv[1:] if argv is None else argv),
+        log_level=getattr(args, "log_level", "info"),
+    )
+    obs.annotate(scale=getattr(args, "scale", None), seed=getattr(args, "seed", None))
+    try:
+        return args.func(args)
+    finally:
+        manifest = obs.finish_run()
+        if manifest is not None:
+            print(f"observability manifest: {manifest}")
 
 
 if __name__ == "__main__":

@@ -71,7 +71,7 @@ def construct_close_cluster_set(
     clusters_in_as: Callable[[int], List[int]],
     lat: LatencyProbe,
     loss: LossProbe,
-    config: ASAPConfig = ASAPConfig(),
+    config: Optional[ASAPConfig] = None,
 ) -> CloseClusterSet:
     """Build the close cluster set for ``own_cluster`` whose AS is ``own_as``.
 
@@ -80,6 +80,8 @@ def construct_close_cluster_set(
     this surrogate and another cluster's surrogate (2 messages per
     probed cluster are accounted).
     """
+    if config is None:
+        config = ASAPConfig()
     result = CloseClusterSet(owner=own_cluster)
     if own_as not in graph:
         # The surrogate's AS is unknown to the (inferred) graph — can
@@ -121,6 +123,13 @@ def construct_close_cluster_set(
                 )
             if expand:
                 queue.append((nxt, nxt_phase, dist + 1))
+
+    from repro import obs
+
+    obs.counter("close_set.built").inc()
+    obs.counter("close_set.probe_messages").inc(result.probe_messages)
+    obs.histogram("close_set.size").observe(len(result))
+    obs.histogram("close_set.ases_visited").observe(result.ases_visited)
     return result
 
 

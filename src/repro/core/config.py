@@ -10,7 +10,7 @@ import numpy as np
 from repro.errors import ConfigurationError
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class ASAPConfig:
     """Tunables of the ASAP protocol.
 

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.bootstrap import Bootstrap
 from repro.core.close_cluster import CloseClusterSet, construct_close_cluster_set
 from repro.core.config import ASAPConfig
@@ -76,9 +77,9 @@ class ASAPSession:
 class ASAPSystem:
     """A running ASAP deployment over one scenario."""
 
-    def __init__(self, scenario: Scenario, config: ASAPConfig = ASAPConfig()) -> None:
+    def __init__(self, scenario: Scenario, config: Optional[ASAPConfig] = None) -> None:
         self._scenario = scenario
-        self._config = config
+        self._config = config = config if config is not None else ASAPConfig()
         self._matrices = scenario.matrices
         self._clusters = scenario.clusters
         graph = scenario.protocol_graph
@@ -297,11 +298,13 @@ class ASAPSystem:
         if cache is not None:
             cached = cache.load_close_sets(config, self._config)
             if cached is not None:
+                obs.counter("cache.close_sets.hits").inc()
                 for idx, close_set in cached.items():
                     group = self._surrogates.get(idx)
                     if group is not None:
                         group[0]._close_set = close_set
                 return
+            obs.counter("cache.close_sets.misses").inc()
         workers = resolve_workers(config.workers)
         if cache is None and workers <= 1:
             return  # lazy construction, the original behaviour
@@ -327,6 +330,15 @@ class ASAPSystem:
             for idx, group in sorted(self._surrogates.items())
             if group[0]._close_set is None
         ]
+        prebuild_span = obs.span(
+            "asap.prebuild_close_sets", pending=len(pending), workers=count
+        )
+        with prebuild_span:
+            return self._prebuild_pending(pending, count)
+
+    def _prebuild_pending(
+        self, pending: List[int], count: int
+    ) -> Dict[int, CloseClusterSet]:
         if count > 1 and len(pending) > 1 and fork_available():
             global _PREBUILD_SYSTEM
             _PREBUILD_SYSTEM = self
@@ -371,22 +383,29 @@ class ASAPSystem:
             direct_rtt_ms=direct,
             relay_needed=not (np.isfinite(direct) and direct < self._config.lat_threshold_ms),
         )
+        obs.counter("asap.sessions").inc()
         if not session.relay_needed:
             return session
 
-        s1 = self.surrogate(caller_cluster, requester=caller_ip).serve_close_set()
-        s2 = self.surrogate(callee_cluster, requester=callee_ip).serve_close_set()
-        selection = select_close_relay(
-            s1,
-            s2,
-            cluster_size=lambda idx: int(self._matrices.sizes[idx]),
-            close_set_of=lambda idx: self.surrogate(
-                idx, requester=caller_ip
-            ).serve_close_set(),
-            config=self._config,
-        )
+        obs.counter("asap.sessions.relay_needed").inc()
+        with obs.span("asap.select_close_relay", level="debug"):
+            s1 = self.surrogate(caller_cluster, requester=caller_ip).serve_close_set()
+            s2 = self.surrogate(callee_cluster, requester=callee_ip).serve_close_set()
+            selection = select_close_relay(
+                s1,
+                s2,
+                cluster_size=lambda idx: int(self._matrices.sizes[idx]),
+                close_set_of=lambda idx: self.surrogate(
+                    idx, requester=caller_ip
+                ).serve_close_set(),
+                config=self._config,
+            )
         session.selection = selection
         session.best_relay_rtt_ms = selection.best_rtt_ms()
+        obs.counter("asap.select.messages").inc(selection.messages)
+        obs.counter("asap.select.quality_paths").inc(selection.quality_paths)
+        obs.counter("asap.select.one_hop_ips").inc(selection.one_hop_ips)
+        obs.counter("asap.select.two_hop_pairs").inc(selection.two_hop_pairs)
         return session
 
     # -- accounting ------------------------------------------------------------------

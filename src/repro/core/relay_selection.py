@@ -83,7 +83,7 @@ def select_close_relay(
     s2: CloseClusterSet,
     cluster_size: Callable[[int], int],
     close_set_of: Callable[[int], CloseClusterSet],
-    config: ASAPConfig = ASAPConfig(),
+    config: Optional[ASAPConfig] = None,
 ) -> RelaySelection:
     """Run select-close-relay for a session between s1's and s2's hosts.
 
@@ -91,6 +91,8 @@ def select_close_relay(
     ``close_set_of`` fetches another surrogate's close cluster set (the
     two-hop step; each call is billed 2 messages).
     """
+    if config is None:
+        config = ASAPConfig()
     result = RelaySelection()
     result.messages += 2  # h1 obtains S2 from h2 (request + response)
 

@@ -27,6 +27,7 @@ from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from repro import obs
 from repro.core.config import ASAPConfig
 from repro.core.protocol import ASAPSession, ASAPSystem
 from repro.errors import ProtocolError
@@ -72,10 +73,10 @@ class CallSetupRecord:
 class ASAPRuntime:
     """Drives ASAP protocol flows through a discrete-event simulation."""
 
-    def __init__(self, scenario: Scenario, config: ASAPConfig = ASAPConfig()) -> None:
+    def __init__(self, scenario: Scenario, config: Optional[ASAPConfig] = None) -> None:
         self._scenario = scenario
+        self._config = config = config if config is not None else ASAPConfig()
         self._system = ASAPSystem(scenario, config)
-        self._config = config
         self.sim = Simulator()
         self.network = SimNetwork(self.sim, scenario.latency)
         self._bootstrap_hosts = self._make_bootstrap_hosts()
@@ -155,6 +156,7 @@ class ASAPRuntime:
 
     def _join_done(self, record: JoinRecord) -> None:
         record.completed_ms = self.sim.now_ms
+        obs.counter("runtime.joins").inc()
 
     # -- call setup flow -------------------------------------------------------
 
@@ -226,6 +228,9 @@ class ASAPRuntime:
         on_complete: Optional[Callable[[CallSetupRecord], None]],
     ) -> None:
         record.completed_ms = self.sim.now_ms
+        obs.counter("runtime.call_setups").inc()
+        if record.setup_ms is not None:
+            obs.histogram("runtime.call_setup_ms").observe(record.setup_ms)
         if on_complete is not None:
             on_complete(record)
 

@@ -35,7 +35,7 @@ class Surrogate:
     clusters_in_as: Callable[[int], List[int]]
     lat: LatencyProbe
     loss: LossProbe
-    config: ASAPConfig = ASAPConfig()
+    config: ASAPConfig = field(default_factory=ASAPConfig)
     close_set_requests: int = 0
     published_info: Dict[IPv4Address, NodalInfo] = field(default_factory=dict)
     # §6.3 load sharing: replica surrogates of a large cluster serve the

@@ -6,6 +6,9 @@
   (quality paths, shortest RTT, highest MOS, messages).
 - :mod:`repro.evaluation.section3` — Figs. 2-3 (measurement foundation).
 - :mod:`repro.evaluation.section5` — Tables 1-2, Figs. 5-7 (Skype study).
+- :mod:`repro.evaluation.policies` — every method behind the uniform
+  :class:`~repro.baselines.base.RelayPolicy` surface (including the
+  ASAP adapter) plus the default Section-7 roster.
 - :mod:`repro.evaluation.section7` — Figs. 11-18 (ASAP vs baselines,
   scalability, overhead).
 - :mod:`repro.evaluation.ablations` — parameter sweeps for the design
@@ -16,6 +19,7 @@
 
 from repro.evaluation.sessions import Session, SessionWorkload, generate_workload
 from repro.evaluation.metrics import MethodRecord, MethodSummary, summarize_method
+from repro.evaluation.policies import METHOD_NAMES, ASAPPolicy, default_policies
 from repro.evaluation.section3 import Section3Result, run_section3
 from repro.evaluation.section5 import Section5Result, run_section5, run_skype_batch
 from repro.evaluation.section7 import Section7Result, run_section7
@@ -29,9 +33,12 @@ from repro.evaluation.robustness import (
 from repro.evaluation.figures import export_all
 
 __all__ = [
+    "ASAPPolicy",
     "HeadlineMetrics",
+    "METHOD_NAMES",
     "MethodRecord",
     "MethodSummary",
+    "default_policies",
     "ScalabilityResult",
     "Section3Result",
     "Section5Result",

@@ -98,9 +98,11 @@ def sweep_k(
     latent_target: int = 40,
     seed: int = 0,
     max_latent: Optional[int] = 40,
-    base: ASAPConfig = ASAPConfig(),
+    base: Optional[ASAPConfig] = None,
 ) -> List[AblationPoint]:
     """BFS hop-limit sweep (paper fixes k = 4)."""
+    if base is None:
+        base = ASAPConfig()
     latent = _latent_sessions(scenario, session_count, latent_target, seed, max_latent)
     return [
         _evaluate(scenario, latent, replace(base, k_hops=k), f"k={k}")
@@ -115,9 +117,11 @@ def sweep_size_threshold(
     latent_target: int = 40,
     seed: int = 0,
     max_latent: Optional[int] = 40,
-    base: ASAPConfig = ASAPConfig(),
+    base: Optional[ASAPConfig] = None,
 ) -> List[AblationPoint]:
     """Two-hop trigger sweep (paper uses sizeT = 300)."""
+    if base is None:
+        base = ASAPConfig()
     latent = _latent_sessions(scenario, session_count, latent_target, seed, max_latent)
     return [
         _evaluate(
@@ -134,13 +138,15 @@ def sweep_lat_threshold(
     latent_target: int = 40,
     seed: int = 0,
     max_latent: Optional[int] = 40,
-    base: ASAPConfig = ASAPConfig(),
+    base: Optional[ASAPConfig] = None,
 ) -> List[AblationPoint]:
     """Quality-threshold sweep (paper sets latT close to 300 ms).
 
     The latent session set is held fixed (at 300 ms) so points are
     comparable; only the protocol's own threshold moves.
     """
+    if base is None:
+        base = ASAPConfig()
     latent = _latent_sessions(scenario, session_count, latent_target, seed, max_latent)
     return [
         _evaluate(
@@ -159,7 +165,7 @@ def sweep_valley_free(
     latent_target: int = 40,
     seed: int = 0,
     max_latent: Optional[int] = 40,
-    base: ASAPConfig = ASAPConfig(),
+    base: Optional[ASAPConfig] = None,
 ) -> List[AblationPoint]:
     """Valley-free constraint on/off — what the AS-awareness is worth.
 
@@ -167,6 +173,8 @@ def sweep_valley_free(
     close sets balloon (more maintenance probes for the same quality) —
     the same failure mode as AS-oblivious probing, quantified.
     """
+    if base is None:
+        base = ASAPConfig()
     latent = _latent_sessions(scenario, session_count, latent_target, seed, max_latent)
     return [
         _evaluate(scenario, latent, replace(base, valley_free=True), "valley-free"),

@@ -65,6 +65,7 @@ def record_from_baseline(
         best_rtt_ms=result.best_rtt_ms,
         highest_mos=mos,
         messages=result.messages,
+        one_hop_quality_paths=result.one_hop_quality_paths,
     )
 
 

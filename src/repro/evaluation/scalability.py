@@ -15,7 +15,7 @@ method (ASAP), large for fixed-probe methods.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -96,8 +96,8 @@ def run_scalability(
     latent_target: int = 60,
     seed: int = 0,
     methods: Sequence[str] = ("DEDI", "RAND", "MIX", "ASAP"),
-    asap_config: ASAPConfig = None,
-    baseline_config: BaselineConfig = BaselineConfig(),
+    asap_config: Optional[ASAPConfig] = None,
+    baseline_config: Optional[BaselineConfig] = None,
     max_latent_sessions: int = 60,
 ) -> ScalabilityResult:
     """Run the Fig. 17 experiment at two population scales.
@@ -108,21 +108,23 @@ def run_scalability(
     measure the identical calling pattern — only the relay population
     changes, which is exactly the variable Fig. 17 isolates.
     """
+    from repro import obs
     from repro.evaluation.sessions import Session, SessionWorkload, generate_workload
 
     small_scenario = subsample_scenario(scenario, 1.0 / ratio, seed=seed)
     large_workload = generate_workload(
         scenario, session_count, seed=seed, latent_target=latent_target
     )
-    large = run_section7(
-        scenario,
-        seed=seed,
-        methods=methods,
-        asap_config=asap_config,
-        baseline_config=baseline_config,
-        workload=large_workload,
-        max_latent_sessions=max_latent_sessions,
-    )
+    with obs.span("scalability.large", population=len(scenario.population)):
+        large = run_section7(
+            scenario,
+            seed=seed,
+            methods=methods,
+            asap_config=asap_config,
+            baseline_config=baseline_config,
+            workload=large_workload,
+            max_latent_sessions=max_latent_sessions,
+        )
 
     # Re-target the large run's latent sessions onto the small population.
     small_matrices = small_scenario.matrices
@@ -147,15 +149,16 @@ def run_scalability(
             )
         )
     small_workload = SessionWorkload(sessions=small_sessions)
-    small = run_section7(
-        small_scenario,
-        seed=seed,
-        methods=methods,
-        asap_config=asap_config,
-        baseline_config=baseline_config,
-        workload=small_workload,
-        max_latent_sessions=max_latent_sessions,
-    )
+    with obs.span("scalability.small", population=len(small_scenario.population)):
+        small = run_section7(
+            small_scenario,
+            seed=seed,
+            methods=methods,
+            asap_config=asap_config,
+            baseline_config=baseline_config,
+            workload=small_workload,
+            max_latent_sessions=max_latent_sessions,
+        )
     return ScalabilityResult(
         large_population=len(scenario.population),
         small_population=len(small_scenario.population),

@@ -12,8 +12,11 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
 import numpy as np
 
+from repro import obs
 from repro.baselines.base import BaselineConfig
 from repro.baselines.opt import OPTMethod
 from repro.evaluation.sessions import SessionWorkload, generate_workload
@@ -60,7 +63,7 @@ def run_section3(
     scenario: Scenario,
     session_count: int = 2000,
     seed: int = 0,
-    workload: SessionWorkload = None,
+    workload: Optional[SessionWorkload] = None,
 ) -> Section3Result:
     """Compute the Section 3 series over a random-session workload."""
     if workload is None:
@@ -69,9 +72,11 @@ def run_section3(
 
     direct = workload.direct_rtts()
     optimal = np.empty(len(workload))
-    for idx, session in enumerate(workload.sessions):
-        _, best = opt.best_one_hop(session.caller_cluster, session.callee_cluster)
-        optimal[idx] = best if best is not None else np.inf
+    with obs.span("section3.optimal_one_hop", sessions=len(workload)):
+        for idx, session in enumerate(workload.sessions):
+            _, best = opt.best_one_hop(session.caller_cluster, session.callee_cluster)
+            optimal[idx] = best if best is not None else np.inf
+    obs.counter("section3.sessions").inc(len(workload))
 
     finite = np.isfinite(direct) & np.isfinite(optimal)
     improved = finite & (optimal < direct)

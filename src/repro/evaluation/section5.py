@@ -149,12 +149,16 @@ def build_site_plan(scenario: Scenario, seed: int = 0) -> SitePlan:
 
 def run_section5(
     scenario: Scenario,
-    config: SkypeConfig = SkypeConfig(),
+    config: Optional[SkypeConfig] = None,
     duration_ms: float = 400_000.0,
     seed: int = 0,
     session_plan: Optional[List[Tuple[int, int]]] = None,
 ) -> Section5Result:
     """Run the 14-session Skype study end to end."""
+    from repro import obs
+
+    if config is None:
+        config = SkypeConfig()
     plan = build_site_plan(scenario, seed=seed)
     sessions = session_plan if session_plan is not None else list(TABLE1_SESSION_PLAN)
     overlay = SupernodeOverlay(scenario.population, config)
@@ -165,27 +169,29 @@ def run_section5(
     )
     results: List[SkypeSessionResult] = []
     analyses: List[SessionAnalysis] = []
-    for sid, (caller_site, callee_site) in enumerate(sessions, start=1):
-        caller = plan.host(caller_site)
-        callee = plan.host(callee_site)
-        result = run_skype_session(
-            scenario,
-            caller.ip,
-            callee.ip,
-            overlay=overlay,
-            config=config,
-            duration_ms=duration_ms,
-            session_id=sid,
-        )
-        results.append(result)
-        analyses.append(analyzer.analyze(result.trace))
+    with obs.span("section5.sessions", sessions=len(sessions)):
+        for sid, (caller_site, callee_site) in enumerate(sessions, start=1):
+            caller = plan.host(caller_site)
+            callee = plan.host(callee_site)
+            result = run_skype_session(
+                scenario,
+                caller.ip,
+                callee.ip,
+                overlay=overlay,
+                config=config,
+                duration_ms=duration_ms,
+                session_id=sid,
+            )
+            results.append(result)
+            analyses.append(analyzer.analyze(result.trace))
+            obs.counter("section5.sessions").inc()
     return Section5Result(plan=plan, sessions=sessions, results=results, analyses=analyses)
 
 
 def run_skype_batch(
     scenario: Scenario,
     session_count: int = 40,
-    config: SkypeConfig = SkypeConfig(),
+    config: Optional[SkypeConfig] = None,
     duration_ms: float = 300_000.0,
     seed: int = 0,
     min_direct_rtt_ms: float = 250.0,
@@ -197,6 +203,8 @@ def run_skype_batch(
     limits live) and runs the full simulate-capture-analyze pipeline on
     each.  Used for aggregate limit statistics at scale.
     """
+    if config is None:
+        config = SkypeConfig()
     rng = derive_rng(seed, "skype-batch")
     matrices = scenario.matrices
     clusters = scenario.clusters.all_clusters()

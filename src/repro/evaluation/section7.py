@@ -13,25 +13,18 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.baselines import (
-    BaselineConfig,
-    DEDIMethod,
-    MIXMethod,
-    OPTMethod,
-    RANDMethod,
-)
-from repro.core import ASAPConfig, ASAPSystem
+from repro import obs
+from repro.baselines import BaselineConfig, RelayPolicy
+from repro.core import ASAPConfig
 from repro.evaluation.metrics import (
     MethodRecord,
     MethodSummary,
-    record_from_asap,
     record_from_baseline,
     summarize_method,
 )
+from repro.evaluation.policies import METHOD_NAMES, default_policies
 from repro.evaluation.sessions import Session, SessionWorkload, generate_workload
 from repro.scenario import Scenario
-
-METHOD_NAMES = ("DEDI", "RAND", "MIX", "ASAP", "OPT")
 
 
 @dataclass
@@ -74,16 +67,22 @@ def run_section7(
     latent_target: int = 100,
     seed: int = 0,
     asap_config: Optional[ASAPConfig] = None,
-    baseline_config: BaselineConfig = BaselineConfig(),
+    baseline_config: Optional[BaselineConfig] = None,
     methods: Sequence[str] = METHOD_NAMES,
     workload: Optional[SessionWorkload] = None,
     max_latent_sessions: Optional[int] = None,
+    policies: Optional[Sequence[RelayPolicy]] = None,
 ) -> Section7Result:
-    """Evaluate all methods on the latent sessions of a workload.
+    """Evaluate every policy on the latent sessions of a workload.
 
     When ``asap_config`` is None, the BFS hop limit k is derived from
     the scenario's own measurements with the paper's 90%-of-sub-300ms-
     paths rule (Section 6.2) instead of hard-coding the paper's k = 4.
+
+    ``policies`` overrides the roster entirely: any sequence of
+    :class:`~repro.baselines.base.RelayPolicy` objects is evaluated in
+    order (``methods`` is then ignored).  By default the roster is
+    :func:`~repro.evaluation.policies.default_policies` over ``methods``.
     """
     if asap_config is None:
         from repro.core.config import derive_k_hops
@@ -97,39 +96,27 @@ def run_section7(
     if max_latent_sessions is not None:
         latent = latent[:max_latent_sessions]
 
-    matrices = scenario.matrices
-    graph = scenario.topology.graph
-    engines = {}
-    if "DEDI" in methods:
-        engines["DEDI"] = DEDIMethod(matrices, graph, baseline_config)
-    if "RAND" in methods:
-        engines["RAND"] = RANDMethod(matrices, baseline_config)
-    if "MIX" in methods:
-        engines["MIX"] = MIXMethod(matrices, graph, baseline_config)
-    if "OPT" in methods:
-        engines["OPT"] = OPTMethod(matrices, baseline_config)
-    asap_system = ASAPSystem(scenario, asap_config) if "ASAP" in methods else None
+    if policies is None:
+        policies = default_policies(
+            scenario,
+            methods=methods,
+            asap_config=asap_config,
+            baseline_config=baseline_config,
+        )
 
     result = Section7Result(latent_sessions=latent)
 
-    # Baselines take the vectorized batch path: one evaluate_sessions
-    # call per method over every latent pair (identical results to the
-    # per-session loop, a fraction of the Python overhead).
+    # Every policy takes the batch path: one evaluate_sessions call over
+    # every latent pair (baselines vectorize it; the ASAP adapter runs
+    # the protocol per session, identically to calling from member IPs).
     pairs = [(s.caller_cluster, s.callee_cluster) for s in latent]
     session_ids = [s.session_id for s in latent]
-    for name, engine in engines.items():
-        outcomes = engine.evaluate_sessions(pairs, session_ids)
-        result.records[name] = [
+    for policy in policies:
+        with obs.span("section7.policy", policy=policy.name, sessions=len(pairs)):
+            outcomes = policy.evaluate_sessions(pairs, session_ids)
+        result.records[policy.name] = [
             record_from_baseline(sid, outcome)
             for sid, outcome in zip(session_ids, outcomes)
         ]
-
-    if asap_system is not None:
-        result.records["ASAP"] = [
-            record_from_asap(
-                asap_system.call(session.caller, session.callee),
-                session.session_id,
-            )
-            for session in latent
-        ]
+        obs.counter(f"section7.sessions.{policy.name}").inc(len(outcomes))
     return result

@@ -104,10 +104,13 @@ def compute_delegate_matrices(
     destination columns across a fork-start process pool.  Output is
     identical bit-for-bit regardless of the worker count.
     """
+    from repro import obs
+
     cluster_list = clusters.all_clusters()
     if not cluster_list:
         raise MeasurementError("no clusters to measure")
     n = len(cluster_list)
+    obs.gauge("matrix.clusters").set(n)
     prefixes = [c.prefix for c in cluster_list]
     index_of = {p: i for i, p in enumerate(prefixes)}
     asn_of = np.array([c.asn for c in cluster_list], dtype=np.int64)
@@ -127,27 +130,28 @@ def compute_delegate_matrices(
         rows_of_as.setdefault(int(asn), []).append(i)
 
     worker_count = resolve_workers(workers)
-    if worker_count > 1 and n > 1 and fork_available():
-        global _ASSEMBLY_STATE
-        _ASSEMBLY_STATE = (model, unique_ases, rows_of_as, access, asn_of, n)
-        try:
-            # More chunks than workers smooths over uneven tree-walk
-            # costs (destination ASes differ in reachable-source count).
-            blocks = run_forked(
-                _assemble_columns,
-                chunked(list(range(n)), worker_count * 4),
-                processes=worker_count,
+    with obs.span("matrix.assemble", clusters=n, workers=worker_count):
+        if worker_count > 1 and n > 1 and fork_available():
+            global _ASSEMBLY_STATE
+            _ASSEMBLY_STATE = (model, unique_ases, rows_of_as, access, asn_of, n)
+            try:
+                # More chunks than workers smooths over uneven tree-walk
+                # costs (destination ASes differ in reachable-source count).
+                blocks = run_forked(
+                    _assemble_columns,
+                    chunked(list(range(n)), worker_count * 4),
+                    processes=worker_count,
+                )
+            finally:
+                _ASSEMBLY_STATE = None
+            for columns, rtt_block, loss_block, hops_block in blocks:
+                rtt[:, columns] = rtt_block
+                loss[:, columns] = loss_block
+                hops[:, columns] = hops_block
+        else:
+            _fill_destinations(
+                range(n), model, unique_ases, rows_of_as, access, asn_of, rtt, loss, hops
             )
-        finally:
-            _ASSEMBLY_STATE = None
-        for columns, rtt_block, loss_block, hops_block in blocks:
-            rtt[:, columns] = rtt_block
-            loss[:, columns] = loss_block
-            hops[:, columns] = hops_block
-    else:
-        _fill_destinations(
-            range(n), model, unique_ases, rows_of_as, access, asn_of, rtt, loss, hops
-        )
 
     # Diagonal / same-cluster entries: intra-cluster latency only.
     for i in range(n):
@@ -184,6 +188,9 @@ def _fill_destinations(
     Both the serial path and every pool worker run exactly this routine,
     which is what makes parallel assembly bit-for-bit reproducible.
     """
+    from repro import obs
+
+    obs.counter("matrix.columns").inc(len(columns))
     for col, j in enumerate(columns):
         dest_as = int(asn_of[j])
         tree = model.routing_tree(dest_as)

@@ -1,0 +1,189 @@
+"""Metric instruments and the registry that owns them.
+
+Three instrument kinds, mirroring the paper's accounting needs:
+
+- :class:`Counter` — monotonically increasing totals (probe messages,
+  sessions run, cache hits);
+- :class:`Gauge` — last-written values (cluster count, worker fan-out);
+- :class:`Histogram` — value distributions with power-of-two buckets
+  (span durations, per-chunk wall times).
+
+A :class:`MetricsRegistry` creates instruments on demand by name and can
+render itself to a plain-dict :meth:`~MetricsRegistry.snapshot` (what the
+run manifest embeds) or absorb another registry's snapshot with
+:meth:`~MetricsRegistry.merge_snapshot` — the primitive behind fork-safe
+aggregation: each pool worker accumulates into a fresh child registry and
+the parent merges the returned snapshots, so counters sum exactly once.
+
+Everything here is zero-dependency plain Python; instruments use
+``__slots__`` and do no locking (the repro is single-threaded per
+process; cross-process aggregation goes through snapshots).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing integer total."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-written scalar (not aggregated over time)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+#: Histogram bucket upper bounds are powers of two starting here; with 40
+#: buckets the range spans ~1 µs to ~15 000 s when observing seconds.
+_FIRST_BUCKET = 2.0 ** -20
+_BUCKET_COUNT = 40
+
+
+class Histogram:
+    """A value distribution: count / sum / min / max plus log2 buckets.
+
+    Bucket ``i`` counts observations in ``(2**(i-21), 2**(i-20)]``; the
+    final bucket is a catch-all for anything larger.  Good enough to see
+    the shape of span durations without storing samples.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: List[int] = [0] * _BUCKET_COUNT
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        self.buckets[_bucket_index(value)] += 1
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self.total / self.count if self.count else None
+
+
+def _bucket_index(value: float) -> int:
+    if value <= _FIRST_BUCKET:
+        return 0
+    index = int(math.ceil(math.log2(value / _FIRST_BUCKET)))
+    return min(index, _BUCKET_COUNT - 1)
+
+
+class MetricsRegistry:
+    """Creates and owns named instruments; snapshot/merge for fan-out."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instrument access (create on first use) ---------------------------
+
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name)
+        return instrument
+
+    # -- read side ---------------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        """Current value of a counter (0 when it never fired)."""
+        instrument = self._counters.get(name)
+        return instrument.value if instrument is not None else 0
+
+    def snapshot(self) -> dict:
+        """Plain-dict view of every instrument (JSON-serializable)."""
+        return {
+            "counters": {n: c.value for n, c in sorted(self._counters.items())},
+            "gauges": {n: g.value for n, g in sorted(self._gauges.items())},
+            "histograms": {
+                n: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                    "buckets": list(h.buckets),
+                }
+                for n, h in sorted(self._histograms.items())
+            },
+        }
+
+    # -- merge (fork fan-out) ----------------------------------------------
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Absorb a child registry's snapshot.
+
+        Counters and histogram contents sum; gauges take the child's
+        value only when the parent never wrote one (a child gauge is a
+        report of shared state, not an increment).
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(value)
+        for name, value in snapshot.get("gauges", {}).items():
+            gauge = self.gauge(name)
+            if gauge.value is None:
+                gauge.value = value
+        for name, data in snapshot.get("histograms", {}).items():
+            histogram = self.histogram(name)
+            count = data.get("count", 0)
+            if not count:
+                continue
+            histogram.count += count
+            histogram.total += data.get("sum", 0.0)
+            for bound_name in ("min", "max"):
+                value = data.get(bound_name)
+                if value is None:
+                    continue
+                current = getattr(histogram, bound_name)
+                better = (
+                    value
+                    if current is None
+                    else (min if bound_name == "min" else max)(current, value)
+                )
+                setattr(histogram, bound_name, better)
+            for index, bucket in enumerate(data.get("buckets", ())):
+                if index < len(histogram.buckets):
+                    histogram.buckets[index] += bucket

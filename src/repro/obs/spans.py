@@ -1,0 +1,76 @@
+"""Span-based wall-clock timers with nesting.
+
+A span measures one named stretch of work::
+
+    with obs.span("scenario.build", scale="tiny"):
+        ...
+
+On exit the duration lands in the histogram ``span.<name>`` (seconds)
+and — when the active sink accepts the span's level — one JSONL event is
+written with the duration and the nesting depth.  Spans at ``debug``
+level cost a histogram update and nothing else under the default
+``info`` sink, which keeps high-cardinality spans (one per cluster)
+cheap.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["NULL_SPAN", "Span"]
+
+
+class Span:
+    """A timed, optionally-nested section of work (context manager)."""
+
+    __slots__ = ("name", "level", "fields", "observer", "depth", "duration_s", "_t0")
+
+    def __init__(self, observer, name: str, level: str = "info", **fields) -> None:
+        self.observer = observer
+        self.name = name
+        self.level = level
+        self.fields = fields
+        self.depth = 0
+        self.duration_s: float = 0.0
+        self._t0 = 0.0
+
+    def __enter__(self) -> "Span":
+        self.depth = self.observer.span_depth
+        self.observer.span_depth += 1
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self._t0
+        self.observer.span_depth -= 1
+        self.observer.registry.histogram(f"span.{self.name}").observe(self.duration_s)
+        sink = self.observer.sink
+        if sink is not None:
+            sink.emit(
+                "span",
+                self.name,
+                level=self.level,
+                dur_s=round(self.duration_s, 6),
+                depth=self.depth,
+                **self.fields,
+            )
+        return False
+
+
+class _NullSpan:
+    """The span used when observability is off: a free context manager."""
+
+    __slots__ = ()
+
+    depth = 0
+    duration_s = 0.0
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+#: Shared no-op span instance (stateless, safe to reuse and nest).
+NULL_SPAN = _NullSpan()

@@ -54,9 +54,9 @@ from repro.topology.population import (
 from repro.topology.prefixes import PrefixAllocation, allocate_prefixes
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, kw_only=True)
 class ScenarioConfig:
-    """Full description of one simulated world."""
+    """Full description of one simulated world (keyword-only fields)."""
 
     topology: TopologyConfig = TopologyConfig()
     population: PopulationConfig = PopulationConfig()
@@ -87,6 +87,24 @@ class ScenarioConfig:
             topology=replace(self.topology, seed=seed),
             population=replace(self.population, seed=seed),
             conditions=replace(self.conditions, seed=seed),
+        )
+
+    @classmethod
+    def from_cli_args(cls, args) -> "ScenarioConfig":
+        """The scenario config described by parsed CLI arguments.
+
+        Reads the common knobs every ``repro.cli`` command declares —
+        ``--scale``, ``--seed``, ``--workers``, ``--cache-dir`` — from an
+        ``argparse.Namespace`` (missing attributes fall back to their CLI
+        defaults), so commands build scenarios with one call and a new
+        knob is declared in exactly one place.
+        """
+        scale = getattr(args, "scale", "small")
+        config = config_for_scale(scale, getattr(args, "seed", 0))
+        return replace(
+            config,
+            workers=getattr(args, "workers", None),
+            cache_dir=getattr(args, "cache_dir", None),
         )
 
 
@@ -162,7 +180,7 @@ class Scenario:
         )
 
 
-def build_scenario(config: ScenarioConfig = ScenarioConfig()) -> Scenario:
+def build_scenario(config: Optional[ScenarioConfig] = None) -> Scenario:
     """Build a scenario from its config (deterministic in ``config``).
 
     With a cache directory configured (``config.cache_dir`` or
@@ -171,28 +189,43 @@ def build_scenario(config: ScenarioConfig = ScenarioConfig()) -> Scenario:
     disk instead of regenerating anything; a cold call builds, computes
     the matrices, and persists the artifacts for the next run.
     """
-    from repro.storage.cache import ScenarioCache, resolve_cache_dir
+    from repro import obs
+    from repro.storage.cache import ScenarioCache, resolve_cache_dir, scenario_cache_key
+    from repro.util.parallel import resolve_workers
 
+    if config is None:
+        config = ScenarioConfig()
+    obs.annotate(
+        config_key=scenario_cache_key(config),
+        seed=config.seed,
+        workers=resolve_workers(config.workers),
+    )
     cache_root = resolve_cache_dir(config.cache_dir)
     cache = ScenarioCache(cache_root) if cache_root is not None else None
-    if cache is not None:
-        cached = cache.load(config)
-        if cached is not None:
-            return cached
-    topology = generate_topology(config.topology)
-    scenario = build_scenario_from_topology(topology, config)
-    if cache is not None:
-        cache.save(scenario)  # forces matrix computation before persisting
+    with obs.span("scenario.build", cached=cache is not None):
+        if cache is not None:
+            cached = cache.load(config)
+            if cached is not None:
+                obs.counter("cache.scenario.hits").inc()
+                return cached
+            obs.counter("cache.scenario.misses").inc()
+        with obs.span("scenario.generate"):
+            topology = generate_topology(config.topology)
+            scenario = build_scenario_from_topology(topology, config)
+        if cache is not None:
+            cache.save(scenario)  # forces matrix computation before persisting
     return scenario
 
 
 def build_scenario_from_topology(
-    topology: Topology, config: ScenarioConfig = ScenarioConfig()
+    topology: Topology, config: Optional[ScenarioConfig] = None
 ) -> Scenario:
     """Build a scenario on a pre-built topology (e.g. an alternative
     family from :mod:`repro.topology.models`); everything downstream of
     topology generation — BGP feed, inference, population, weather,
     matrices — runs identically."""
+    if config is None:
+        config = ScenarioConfig()
     if config.hierarchical_prefixes:
         from repro.topology.prefixes import allocate_prefixes_hierarchical
 
@@ -319,3 +352,21 @@ def evaluation_config(seed: int = 0) -> ScenarioConfig:
 def default_scenario(seed: int = 0) -> Scenario:
     """The standard world used by benchmarks (evaluation scale)."""
     return build_scenario(evaluation_config(seed))
+
+
+#: Named scales the CLI (and :meth:`ScenarioConfig.from_cli_args`) accept.
+SCALES = ("tiny", "small", "evaluation")
+
+
+def config_for_scale(scale: str, seed: int = 0) -> ScenarioConfig:
+    """The config of a named scale (``tiny``/``small``/``evaluation``)."""
+    factories = {
+        "tiny": tiny_config,
+        "small": small_config,
+        "evaluation": evaluation_config,
+    }
+    try:
+        factory = factories[scale]
+    except KeyError:
+        raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}") from None
+    return factory(seed)

@@ -174,11 +174,13 @@ def run_skype_session(
     caller_ip: IPv4Address,
     callee_ip: IPv4Address,
     overlay: Optional[SupernodeOverlay] = None,
-    config: SkypeConfig = SkypeConfig(),
+    config: Optional[SkypeConfig] = None,
     duration_ms: float = 400_000.0,
     session_id: int = 0,
 ) -> SkypeSessionResult:
     """Simulate one Skype-like session and capture its packet trace."""
+    if config is None:
+        config = SkypeConfig()
     population = scenario.population
     caller = population.by_ip(caller_ip)
     callee = population.by_ip(callee_ip)

@@ -89,8 +89,10 @@ class SkypeConfig:
 class SupernodeOverlay:
     """The set of supernodes and AS-unaware candidate discovery."""
 
-    def __init__(self, population: PeerPopulation, config: SkypeConfig = SkypeConfig()) -> None:
-        self._config = config
+    def __init__(
+        self, population: PeerPopulation, config: Optional[SkypeConfig] = None
+    ) -> None:
+        self._config = config = config if config is not None else SkypeConfig()
         ranked = sorted(
             population.hosts, key=lambda h: (-h.info.capability(), h.ip)
         )

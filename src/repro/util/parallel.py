@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import Iterable, List, Optional, Sequence, TypeVar
 
 T = TypeVar("T")
@@ -80,7 +81,49 @@ def run_forked(worker, chunks: Iterable[Sequence], processes: int) -> List:
 
     The caller is responsible for having published any shared state in a
     module-level slot that ``worker`` reads (fork children inherit it).
+
+    With observability active (:mod:`repro.obs`), every pool task runs
+    against a fresh child-side metrics registry whose snapshot is merged
+    back into the parent registry afterwards — counters incremented in
+    workers sum exactly once — and per-chunk wall times land in the
+    ``parallel.chunk`` histogram.  With observability off this path is
+    untouched: the bare worker goes straight into ``pool.map``.
     """
+    from repro import obs
+
     context = multiprocessing.get_context("fork")
-    with context.Pool(processes=processes) as pool:
-        return pool.map(worker, list(chunks))
+    if not obs.enabled():
+        with context.Pool(processes=processes) as pool:
+            return pool.map(worker, list(chunks))
+
+    global _FORKED_WORKER
+    chunk_list = list(chunks)
+    _FORKED_WORKER = worker
+    try:
+        with obs.span("parallel.run_forked", processes=processes, chunks=len(chunk_list)):
+            with context.Pool(processes=processes) as pool:
+                outcomes = pool.map(_observed_worker, chunk_list)
+    finally:
+        _FORKED_WORKER = None
+    results = []
+    for result, snapshot in outcomes:
+        obs.merge_child_snapshot(snapshot)
+        results.append(result)
+    return results
+
+
+#: The user worker observed pool tasks wrap (inherited by fork children).
+_FORKED_WORKER = None
+
+
+def _observed_worker(chunk):
+    """Pool task wrapper: child-local metrics plus per-chunk timing."""
+    from repro import obs
+
+    obs.begin_forked_child()
+    started = time.perf_counter()
+    result = _FORKED_WORKER(chunk)
+    obs.histogram("parallel.chunk").observe(time.perf_counter() - started)
+    obs.counter("parallel.chunks").inc()
+    obs.counter("parallel.chunk_items").inc(len(chunk))
+    return result, obs.collect_forked_child()
