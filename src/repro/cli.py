@@ -231,6 +231,44 @@ def cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.evaluation.chaos import run_chaos, sweep_chaos
+    from repro.evaluation.report import render_kv_table
+    from repro.faults import FaultScheduleConfig
+
+    scenario = _build_from_args(args)
+    fault_config = FaultScheduleConfig(
+        seed=args.fault_seed,
+        duration_ms=args.duration_ms,
+        surrogate_crash_rate_per_min=args.crash_rate,
+        host_churn_rate_per_min=args.churn_rate,
+        random_as_outages=args.as_failures,
+        message_loss_rate=args.loss_rate,
+    )
+    kwargs = dict(
+        sessions=args.sessions,
+        joins=args.joins,
+        media_duration_ms=args.media_ms,
+        seed=args.seed,
+    )
+    if args.sweep:
+        intensities = tuple(float(x) for x in args.sweep.split(","))
+        results = sweep_chaos(scenario, fault_config, intensities, **kwargs)
+        for intensity, result in results:
+            print(render_kv_table(f"intensity {intensity:g}:", result.summary_rows()))
+        final = results[-1][1]
+    else:
+        final = run_chaos(scenario, fault_config, **kwargs)
+        print(render_kv_table("chaos run:", final.summary_rows()))
+    if args.fault_log:
+        Path(args.fault_log).write_text("\n".join(final.fault_log) + "\n")
+        print(f"wrote {len(final.fault_log)} fault log lines to {args.fault_log}")
+    if args.json:
+        Path(args.json).write_text(final.to_json() + "\n")
+        print(f"wrote chaos summary to {args.json}")
+    return 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     from repro.evaluation.figures import export_all
 
@@ -297,6 +335,34 @@ def make_parser() -> argparse.ArgumentParser:
     _add_common(p)
     p.add_argument("--sessions", type=int, default=20)
     p.set_defaults(func=cmd_limits)
+
+    p = sub.add_parser("chaos", help="runtime under injected faults (timeouts, "
+                                     "retries, relay failover)")
+    _add_common(p)
+    p.add_argument("--sessions", type=int, default=40, help="calls to place")
+    p.add_argument("--joins", type=int, default=40, help="hosts that join")
+    p.add_argument("--duration-ms", type=float, default=60_000.0,
+                   help="fault schedule window (simulated ms)")
+    p.add_argument("--media-ms", type=float, default=10_000.0,
+                   help="voice duration per completed call (simulated ms)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the fault schedule (independent of --seed)")
+    p.add_argument("--crash-rate", type=float, default=2.0,
+                   help="surrogate crashes per simulated minute")
+    p.add_argument("--churn-rate", type=float, default=10.0,
+                   help="host departures per simulated minute")
+    p.add_argument("--loss-rate", type=float, default=0.0,
+                   help="uniform background message-loss probability")
+    p.add_argument("--as-failures", type=int, default=0,
+                   help="random mid-run AS outages to inject")
+    p.add_argument("--sweep", metavar="I1,I2,...",
+                   help="comma-separated fault intensities to sweep "
+                        "(scales the random rates; 0 = fault-free control)")
+    p.add_argument("--fault-log", metavar="PATH",
+                   help="write the byte-stable fault log (JSON lines) here")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the chaos summary document (JSON) here")
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("robustness", help="headline metrics across seeds")
     _add_common(p)

@@ -22,11 +22,23 @@ from repro.core.close_cluster import CloseClusterEntry, CloseClusterSet, constru
 from repro.core.relay_selection import RelaySelection, select_close_relay
 from repro.core.protocol import ASAPSession, ASAPSystem
 from repro.core.assignment import RelayAssignment, RelayAssignmentService
-from repro.core.runtime import ASAPRuntime
+from repro.core.runtime import (
+    ASAPRuntime,
+    CallSetupRecord,
+    FailoverEvent,
+    JoinRecord,
+    MediaSessionRecord,
+    RuntimePolicy,
+)
 
 __all__ = [
     "ASAPConfig",
     "ASAPRuntime",
+    "CallSetupRecord",
+    "FailoverEvent",
+    "JoinRecord",
+    "MediaSessionRecord",
+    "RuntimePolicy",
     "ASAPSession",
     "ASAPSystem",
     "CloseClusterEntry",

@@ -19,6 +19,7 @@ trace-driven simulation replays.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -113,6 +114,7 @@ class ASAPSystem:
 
         self._endhosts: Dict[IPv4Address, EndHost] = {}
         self._offline: set = set()
+        self._offline_in_cluster: Counter = Counter()
         self.sessions_run = 0
         self._init_close_sets()
 
@@ -197,9 +199,36 @@ class ASAPSystem:
 
     # -- membership -------------------------------------------------------------
 
+    def _mark_offline(self, ip: IPv4Address) -> None:
+        if ip not in self._offline:
+            self._offline.add(ip)
+            self._offline_in_cluster[self.cluster_of_ip(ip)] += 1
+
+    def _mark_online(self, ip: IPv4Address) -> None:
+        if ip in self._offline:
+            self._offline.discard(ip)
+            self._offline_in_cluster[self.cluster_of_ip(ip)] -= 1
+
+    def online_size(self, cluster_index: int) -> int:
+        """Online host count of a cluster (its relay capacity right now).
+
+        Feeding this into :func:`select_close_relay` keeps churned-away
+        hosts out of the candidate accounting — a dark cluster offers
+        zero relays, however attractive its measured paths.
+        """
+        total = int(self._matrices.sizes[cluster_index])
+        return total - self._offline_in_cluster.get(cluster_index, 0)
+
+    def online_hosts_in_cluster(self, cluster_index: int) -> List:
+        """Online member hosts of a cluster, most capable first."""
+        cluster = self._clusters.clusters[self._matrices.prefixes[cluster_index]]
+        members = [h for h in cluster.hosts if h.ip not in self._offline]
+        members.sort(key=lambda h: (-h.info.capability(), h.ip))
+        return members
+
     def join(self, ip: IPv4Address) -> EndHost:
         """Join an end host: bootstrap lookup + nodal info publication."""
-        self._offline.discard(ip)
+        self._mark_online(ip)
         host = self._scenario.population.by_ip(ip)
         endhost = EndHost(host=host)
         info = endhost.join(self._bootstraps)
@@ -221,8 +250,10 @@ class ASAPSystem:
         remains until a member returns, mirroring how a real system
         only notices on the next failed request.
         """
+        if ip in self._offline:
+            return None  # already gone; nothing further to tear down
         host = self._scenario.population.by_ip(ip)
-        self._offline.add(ip)
+        self._mark_offline(ip)
         self._endhosts.pop(ip, None)
         cluster_index = self.cluster_of_ip(ip)
         group = self._surrogates[cluster_index]
@@ -255,11 +286,16 @@ class ASAPSystem:
         """
         old = self.surrogate(cluster_index)
         cluster = self._clusters.clusters[self._matrices.prefixes[cluster_index]]
-        remaining = [h for h in cluster.hosts if h.ip != old.host.ip]
+        remaining = [
+            h
+            for h in cluster.hosts
+            if h.ip != old.host.ip and h.ip not in self._offline
+        ]
         if not remaining:
             raise ProtocolError(
                 f"cluster {cluster.prefix} has no other host to promote"
             )
+        self._mark_offline(old.host.ip)
 
         class _Survivors:
             """Cluster view excluding the failed primary."""
@@ -394,7 +430,7 @@ class ASAPSystem:
             selection = select_close_relay(
                 s1,
                 s2,
-                cluster_size=lambda idx: int(self._matrices.sizes[idx]),
+                cluster_size=self.online_size,
                 close_set_of=lambda idx: self.surrogate(
                     idx, requester=caller_ip
                 ).serve_close_set(),

@@ -99,13 +99,16 @@ def select_close_relay(
     # One-hop: intersect close sets.
     common = sorted(set(s1.entries) & set(s2.entries))
     for cluster in common:
+        size = cluster_size(cluster)
+        if size <= 0:
+            continue  # churned dark: no hosts left to relay through
         relay_rtt = s1.rtt_to(cluster) + s2.rtt_to(cluster) + config.relay_delay_rtt_ms
         if relay_rtt < config.lat_threshold_ms:
             result.one_hop.append(
                 OneHopCandidate(
                     cluster=cluster,
                     relay_rtt_ms=relay_rtt,
-                    member_ips=cluster_size(cluster),
+                    member_ips=size,
                 )
             )
 
@@ -136,12 +139,15 @@ def select_close_relay(
                 if key not in seen_pairs or relay_rtt < seen_pairs[key]:
                     seen_pairs[key] = relay_rtt
     for (r1, r2), relay_rtt in sorted(seen_pairs.items()):
+        pairs = cluster_size(r1) * cluster_size(r2)
+        if pairs <= 0:
+            continue  # either leg's cluster has churned dark
         result.two_hop.append(
             TwoHopCandidate(
                 first=r1,
                 second=r2,
                 relay_rtt_ms=relay_rtt,
-                member_pairs=cluster_size(r1) * cluster_size(r2),
+                member_pairs=pairs,
             )
         )
     return result

@@ -1,12 +1,14 @@
 """Event-driven ASAP deployment: protocol flows over the simulated network.
 
 :class:`ASAPSystem` computes *what* the protocol decides; this module
-adds *when*: joins, nodal publishes and call setups run as real message
-exchanges over :class:`~repro.sim.network.SimNetwork`, every hop paying
-the latency model's one-way delay.  The headline measurement is **call
-setup time** — the paper's answer to Skype's Limit 3: where Skype needs
-tens-to-hundreds of seconds of probing to stabilize, ASAP's
-select-close-relay completes in a handful of RTTs.
+adds *when* — and *what happens when the network misbehaves*.  Joins,
+nodal publishes and call setups run as real request/response exchanges
+over :class:`~repro.sim.network.SimNetwork`, every hop paying the
+latency model's one-way delay, and every exchange guarded by a timeout.
+The headline measurement is **call setup time** — the paper's answer to
+Skype's Limit 3: where Skype needs tens-to-hundreds of seconds of
+probing to stabilize, ASAP's select-close-relay completes in a handful
+of RTTs.
 
 Setup flow timed for a latent session (Fig. 8's steps):
 
@@ -18,33 +20,106 @@ Setup flow timed for a latent session (Fig. 8's steps):
 4. if one-hop candidates are too few, the caller queries candidate
    surrogates for their close sets in parallel (max of those RTTs);
 5. selection completes locally.
+
+Fault tolerance (driven by :mod:`repro.faults` injecting crashes,
+outages and loss):
+
+- every record terminates: ``outcome`` is one of ``completed``,
+  ``degraded`` (fell back to the direct path, recorded as such) or
+  ``failed`` (with a reason) — nothing hangs on a dead peer;
+- joins retry the **next bootstrap** with exponential backoff when a
+  bootstrap times out;
+- close-set requests fail over to **backup surrogate-group members**
+  (§6.3's replicas) before degrading to the direct path;
+- active relayed calls send **keepalives** to their relay; a missed
+  keepalive triggers failover to the next candidate from the already
+  computed close-set intersection (§6's backup-relay maintenance), and
+  the outage window is accounted through :mod:`repro.voip.outage`.
+
+Two reachability regimes are deliberately distinct: a *structurally*
+unreachable destination (the latency model has no route, a permanent
+condition in these static worlds) fails fast without retries, exactly
+preserving the sunny-day message counts and timings; a *fault*-caused
+silence (host down, AS failed, loss) goes through the timeout → retry →
+failover machinery.  With a zeroed fault schedule results are therefore
+bit-identical to the pre-fault runtime.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
 from repro import obs
 from repro.core.config import ASAPConfig
 from repro.core.protocol import ASAPSession, ASAPSystem
-from repro.errors import ProtocolError
+from repro.errors import ConfigurationError, ProtocolError
 from repro.netaddr import IPv4Address
 from repro.scenario import Scenario
 from repro.sim.engine import Simulator
 from repro.sim.network import SimNetwork
 from repro.topology.population import Host, NodalInfo
+from repro.voip.outage import OutageImpact, OutageWindow, account_outages
+from repro.voip.quality import mos_of_path
+
+
+@dataclass(frozen=True, kw_only=True)
+class RuntimePolicy:
+    """Timeout / retry / backoff / keepalive knobs of the runtime.
+
+    Timeouts are per message category; retries are bounded and backed
+    off exponentially (``backoff_base_ms * backoff_factor**attempt``).
+    Defaults are deliberately generous relative to simulated RTTs (a few
+    hundred ms) so a timeout genuinely means a fault, not a slow path.
+    """
+
+    join_timeout_ms: float = 1_500.0
+    ping_timeout_ms: float = 1_000.0
+    close_set_timeout_ms: float = 1_200.0
+    two_hop_timeout_ms: float = 800.0
+    keepalive_interval_ms: float = 2_000.0
+    keepalive_timeout_ms: float = 600.0
+    max_join_attempts: int = 3
+    max_ping_attempts: int = 3
+    max_close_set_attempts: int = 3
+    backoff_base_ms: float = 100.0
+    backoff_factor: float = 2.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "join_timeout_ms",
+            "ping_timeout_ms",
+            "close_set_timeout_ms",
+            "two_hop_timeout_ms",
+            "keepalive_interval_ms",
+            "keepalive_timeout_ms",
+            "backoff_base_ms",
+        ):
+            if getattr(self, name) <= 0:
+                raise ConfigurationError(f"{name} must be positive")
+        for name in ("max_join_attempts", "max_ping_attempts", "max_close_set_attempts"):
+            if getattr(self, name) < 1:
+                raise ConfigurationError(f"{name} must be >= 1")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError("backoff_factor must be >= 1")
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Delay before retry number ``attempt + 1`` (0-indexed)."""
+        return self.backoff_base_ms * self.backoff_factor**attempt
 
 
 @dataclass
 class JoinRecord:
-    """Timing of one end host's join."""
+    """Timing + outcome of one end host's join."""
 
     ip: IPv4Address
     started_ms: float
     completed_ms: Optional[float] = None
+    outcome: str = "pending"          # pending | completed | failed
+    failure_reason: Optional[str] = None
+    attempts: int = 0
 
     @property
     def duration_ms(self) -> Optional[float]:
@@ -55,13 +130,27 @@ class JoinRecord:
 
 @dataclass
 class CallSetupRecord:
-    """Timing + outcome of one call's relay selection."""
+    """Timing + outcome of one call's relay selection.
+
+    ``outcome`` is terminal-state machine output: ``completed`` (a
+    usable path, relayed or direct-because-good), ``degraded`` (relay
+    was needed but setup fell back to the direct path — the reason says
+    why) or ``failed`` (no path at all).  ``completed_ms`` stays None
+    for failed setups so :meth:`ASAPRuntime.setup_times_ms` keeps its
+    meaning.
+    """
 
     caller: IPv4Address
     callee: IPv4Address
     started_ms: float
     completed_ms: Optional[float] = None
     session: Optional[ASAPSession] = None
+    outcome: str = "pending"          # pending | completed | degraded | failed
+    failure_reason: Optional[str] = None
+    attempts: int = 0                 # ping attempts
+    retries: int = 0                  # close-set retries to backup surrogates
+    relay_cluster: Optional[int] = None
+    relay_ip: Optional[IPv4Address] = None
 
     @property
     def setup_ms(self) -> Optional[float]:
@@ -69,13 +158,130 @@ class CallSetupRecord:
             return None
         return self.completed_ms - self.started_ms
 
+    @property
+    def terminal(self) -> bool:
+        return self.outcome != "pending"
+
+    @property
+    def path(self) -> Optional[str]:
+        """"relay" or "direct" once terminal (None for failed setups)."""
+        if self.outcome == "completed" and self.relay_ip is not None:
+            return "relay"
+        if self.outcome in ("completed", "degraded"):
+            return "direct"
+        return None
+
+
+@dataclass(frozen=True)
+class FailoverEvent:
+    """One in-call relay replacement (or the decision to degrade)."""
+
+    detected_ms: float                # keepalive timeout fired
+    restored_ms: float                # traffic flowing again (or degraded)
+    old_relay: IPv4Address
+    new_relay: Optional[IPv4Address]  # None = degraded to direct / dropped
+    interruption_ms: float            # outage start (last keepalive send) → restored
+
+    @property
+    def failover_ms(self) -> float:
+        """Detection → restoration (the §6 backup-relay switch time)."""
+        return self.restored_ms - self.detected_ms
+
+
+@dataclass
+class MediaSessionRecord:
+    """An in-progress voice session riding a selected path.
+
+    The runtime keepalives the relay every ``keepalive_interval_ms``;
+    missed keepalives drive failover.  At session end the outage windows
+    are scored through :func:`repro.voip.outage.account_outages` (MOS
+    dip, interruption time).
+    """
+
+    caller: IPv4Address
+    callee: IPv4Address
+    started_ms: float
+    ends_ms: float
+    relay_cluster: Optional[int] = None
+    relay_ip: Optional[IPv4Address] = None
+    base_rtt_ms: float = 0.0
+    outcome: str = "active"           # active | finished | dropped
+    degraded_to_direct: bool = False
+    keepalives: int = 0
+    failovers: List[FailoverEvent] = field(default_factory=list)
+    outage_windows: List[OutageWindow] = field(default_factory=list)
+    impact: Optional[OutageImpact] = None
+    dead_relays: Set[IPv4Address] = field(default_factory=set, repr=False)
+    #: Failover candidates as (relay_rtt_ms, cluster), best first.
+    candidates: List[Tuple[float, int]] = field(default_factory=list, repr=False)
+
+    @property
+    def interruption_ms_total(self) -> float:
+        return sum(w.duration_ms for w in self.outage_windows)
+
+    @property
+    def duration_ms(self) -> float:
+        return self.ends_ms - self.started_ms
+
+
+class _SetupState:
+    """Book-keeping for one call setup's concurrent close-set legs.
+
+    Besides leg completion flags, the state mirrors the analytic timing
+    of the pre-fault runtime (``anchor + (max(own, peer) + two_hop)``):
+    when no timeout or retry perturbed the flow, completion is stamped
+    with exactly that sum, keeping zero-fault runs bit-identical despite
+    the event chain associating the same additions differently.
+    """
+
+    __slots__ = (
+        "own_done",
+        "peer_done",
+        "own_failed",
+        "peer_failed",
+        "two_hop_pending",
+        "anchor_ms",
+        "own_rtt_ms",
+        "peer_rtt_ms",
+        "two_hop_ms",
+        "perturbed",
+    )
+
+    def __init__(self, anchor_ms: float) -> None:
+        self.own_done = False
+        self.peer_done = False
+        self.own_failed = False
+        self.peer_failed = False
+        self.two_hop_pending = 0
+        self.anchor_ms = anchor_ms
+        self.own_rtt_ms = 0.0
+        self.peer_rtt_ms = 0.0
+        self.two_hop_ms = 0.0
+        self.perturbed = False
+
+    @property
+    def fetch_done(self) -> bool:
+        return self.own_done and self.peer_done
+
+    @property
+    def analytic_completed_ms(self) -> float:
+        return self.anchor_ms + (
+            max(self.own_rtt_ms, self.peer_rtt_ms) + self.two_hop_ms
+        )
+
 
 class ASAPRuntime:
     """Drives ASAP protocol flows through a discrete-event simulation."""
 
-    def __init__(self, scenario: Scenario, config: Optional[ASAPConfig] = None) -> None:
+    def __init__(
+        self,
+        scenario: Scenario,
+        config: Optional[ASAPConfig] = None,
+        policy: Optional[RuntimePolicy] = None,
+    ) -> None:
         self._scenario = scenario
         self._config = config = config if config is not None else ASAPConfig()
+        self._policy = policy if policy is not None else RuntimePolicy()
         self._system = ASAPSystem(scenario, config)
         self.sim = Simulator()
         self.network = SimNetwork(self.sim, scenario.latency)
@@ -83,6 +289,7 @@ class ASAPRuntime:
         self._registered: Dict[IPv4Address, Host] = {}
         self.joins: List[JoinRecord] = []
         self.call_setups: List[CallSetupRecord] = []
+        self.media_sessions: List[MediaSessionRecord] = []
         self.surrogate_failures: List = []
         for host in self._bootstrap_hosts:
             self.network.register(host, lambda message: None)
@@ -90,6 +297,14 @@ class ASAPRuntime:
     @property
     def system(self) -> ASAPSystem:
         return self._system
+
+    @property
+    def policy(self) -> RuntimePolicy:
+        return self._policy
+
+    @property
+    def bootstrap_hosts(self) -> List[Host]:
+        return list(self._bootstrap_hosts)
 
     def _make_bootstrap_hosts(self) -> List[Host]:
         """Synthesize dedicated bootstrap servers inside transit ASes."""
@@ -133,15 +348,45 @@ class ASAPRuntime:
 
         def start() -> None:
             record.started_ms = self.sim.now_ms
-            bootstrap_host = self._bootstrap_hosts[ip.value % len(self._bootstrap_hosts)]
-            rtt = self._rtt_between(host, bootstrap_host)
-            if rtt is None:
-                return  # unreachable bootstrap: join fails silently
-            self.network.send(host, bootstrap_host.ip, "join-request")
-            self.sim.schedule(rtt, lambda: self._join_response(record, host))
+            self._try_join(record, host, attempt=0)
 
         self.sim.schedule_at(at_ms, start)
         return record
+
+    def _try_join(self, record: JoinRecord, host: Host, attempt: int) -> None:
+        bootstraps = self._bootstrap_hosts
+        bootstrap_host = bootstraps[(host.ip.value + attempt) % len(bootstraps)]
+        rtt = self._rtt_between(host, bootstrap_host)
+        if rtt is None:
+            # No route in the static world: retrying cannot help.
+            self._join_failed(record, "bootstrap-unreachable")
+            return
+        record.attempts += 1
+        self.network.request(
+            host,
+            bootstrap_host.ip,
+            "join-request",
+            timeout_ms=self._policy.join_timeout_ms,
+            rtt_ms=rtt,
+            on_response=lambda: self._join_response(record, host),
+            on_timeout=lambda: self._join_retry(record, host, attempt),
+        )
+
+    def _join_retry(self, record: JoinRecord, host: Host, attempt: int) -> None:
+        obs.counter("runtime.join_retries").inc()
+        if attempt + 1 >= self._policy.max_join_attempts:
+            self._join_failed(record, "join-timeout")
+            return
+        self.sim.schedule(
+            self._policy.backoff_ms(attempt),
+            lambda: self._try_join(record, host, attempt + 1),
+        )
+
+    def _join_failed(self, record: JoinRecord, reason: str) -> None:
+        record.outcome = "failed"
+        record.failure_reason = reason
+        obs.counter("runtime.joins_failed").inc()
+        obs.event("join.failed", level="debug", ip=str(record.ip), reason=reason)
 
     def _join_response(self, record: JoinRecord, host: Host) -> None:
         endhost = self._system.join(host.ip)
@@ -156,6 +401,7 @@ class ASAPRuntime:
 
     def _join_done(self, record: JoinRecord) -> None:
         record.completed_ms = self.sim.now_ms
+        record.outcome = "completed"
         obs.counter("runtime.joins").inc()
 
     # -- call setup flow -------------------------------------------------------
@@ -166,8 +412,14 @@ class ASAPRuntime:
         callee_ip: IPv4Address,
         at_ms: float = 0.0,
         on_complete: Optional[Callable[[CallSetupRecord], None]] = None,
+        media_duration_ms: Optional[float] = None,
     ) -> CallSetupRecord:
-        """Schedule a call setup; timing lands in the returned record."""
+        """Schedule a call setup; timing lands in the returned record.
+
+        With ``media_duration_ms`` set, a successful setup starts a
+        keepalive-guarded :class:`MediaSessionRecord` on the selected
+        path for that long.
+        """
         record = CallSetupRecord(caller=caller_ip, callee=callee_ip, started_ms=at_ms)
         self.call_setups.append(record)
         caller = self._ensure_registered(caller_ip)
@@ -175,83 +427,512 @@ class ASAPRuntime:
 
         def start() -> None:
             record.started_ms = self.sim.now_ms
-            ping_rtt = self._rtt_between(caller, callee)
-            if ping_rtt is None:
-                return  # callee unreachable: setup cannot complete
-            self.network.send(caller, callee_ip, "ping")
-            self.sim.schedule(ping_rtt, lambda: self._after_ping(record, caller, callee, on_complete))
+            self._try_ping(record, caller, callee, 0, on_complete, media_duration_ms)
 
         self.sim.schedule_at(at_ms, start)
         return record
 
-    def _after_ping(
+    def _try_ping(
         self,
         record: CallSetupRecord,
         caller: Host,
         callee: Host,
-        on_complete: Optional[Callable[[CallSetupRecord], None]],
+        attempt: int,
+        on_complete,
+        media_duration_ms,
+    ) -> None:
+        ping_rtt = self._rtt_between(caller, callee)
+        if ping_rtt is None:
+            self._setup_failed(record, "callee-unreachable", on_complete)
+            return
+        record.attempts += 1
+        self.network.request(
+            caller,
+            callee.ip,
+            "ping",
+            timeout_ms=self._policy.ping_timeout_ms,
+            rtt_ms=ping_rtt,
+            on_response=lambda: self._after_ping(
+                record, caller, callee, on_complete, media_duration_ms
+            ),
+            on_timeout=lambda: self._ping_retry(
+                record, caller, callee, attempt, on_complete, media_duration_ms
+            ),
+        )
+
+    def _ping_retry(
+        self, record, caller, callee, attempt, on_complete, media_duration_ms
+    ) -> None:
+        obs.counter("runtime.ping_retries").inc()
+        if attempt + 1 >= self._policy.max_ping_attempts:
+            self._setup_failed(record, "ping-timeout", on_complete)
+            return
+        self.sim.schedule(
+            self._policy.backoff_ms(attempt),
+            lambda: self._try_ping(
+                record, caller, callee, attempt + 1, on_complete, media_duration_ms
+            ),
+        )
+
+    def _after_ping(
+        self, record, caller: Host, callee: Host, on_complete, media_duration_ms
     ) -> None:
         session = self._system.call(caller.ip, callee.ip)
         record.session = session
         if not session.relay_needed:
-            self._complete(record, on_complete)
+            self._setup_complete(record, "completed", on_complete, media_duration_ms)
             return
 
-        # Fetch own close set from the caller's surrogate.
-        own_surrogate = self._system.surrogate(session.caller_cluster, requester=caller.ip)
-        own_rtt = self._rtt_between(caller, own_surrogate.host) or 0.0
-        self.network.send(caller, own_surrogate.ip, "close-set-request")
+        state = _SetupState(anchor_ms=self.sim.now_ms)
+        self._request_own_close_set(
+            record, state, caller, callee, 0, on_complete, media_duration_ms
+        )
+        self._request_peer_close_set(
+            record, state, caller, callee, 0, on_complete, media_duration_ms
+        )
 
-        # Fetch the callee's close set through the callee (which may
-        # itself round-trip to its surrogate first).
-        callee_surrogate = self._system.surrogate(session.callee_cluster, requester=callee.ip)
-        peer_leg = self._rtt_between(caller, callee) or 0.0
-        callee_leg = self._rtt_between(callee, callee_surrogate.host) or 0.0
-        self.network.send(caller, callee.ip, "close-set-request")
-        fetch_ms = max(own_rtt, peer_leg + callee_leg)
+    # The two close-set legs run concurrently; each tries the serving
+    # surrogate first, then the remaining group members (§6.3 replicas)
+    # on timeout.  A structurally unreachable surrogate contributes 0 ms
+    # and no retries (matching the analytic model: the set still arrives
+    # through the system state).
 
-        # Two-hop expansion queries run in parallel.
-        two_hop_ms = 0.0
-        if session.selection is not None and session.selection.two_hop_queries > 0:
-            for candidate in session.selection.one_hop[: session.selection.two_hop_queries]:
-                surrogate = self._system.surrogate(candidate.cluster, requester=caller.ip)
-                rtt = self._rtt_between(caller, surrogate.host)
-                self.network.send(caller, surrogate.ip, "close-set-request")
-                if rtt is not None:
-                    two_hop_ms = max(two_hop_ms, rtt)
+    def _surrogate_order(self, cluster: int, requester: IPv4Address):
+        group = self._system.surrogate_group(cluster)
+        if len(group) > 1:
+            first = self._system.surrogate(cluster, requester=requester)
+            group.sort(key=lambda s: (s.ip != first.ip, str(s.ip)))
+        return group[: self._policy.max_close_set_attempts]
 
-        self.sim.schedule(fetch_ms + two_hop_ms, lambda: self._complete(record, on_complete))
-
-    def _complete(
-        self,
-        record: CallSetupRecord,
-        on_complete: Optional[Callable[[CallSetupRecord], None]],
+    def _request_own_close_set(
+        self, record, state, caller, callee, attempt, on_complete, media_duration_ms
     ) -> None:
-        record.completed_ms = self.sim.now_ms
+        order = self._surrogate_order(record.session.caller_cluster, caller.ip)
+        if attempt >= len(order):
+            state.own_failed = True
+            self._leg_done(record, state, "own", caller, callee, on_complete, media_duration_ms)
+            return
+        surrogate = order[attempt]
+        self._ensure_registered(surrogate.ip)
+        rtt = self._rtt_between(caller, surrogate.host)
+        if rtt is None:
+            self.network.send(caller, surrogate.ip, "close-set-request")
+            self._leg_done(record, state, "own", caller, callee, on_complete, media_duration_ms)
+            return
+        if attempt > 0:
+            record.retries += 1
+            obs.counter("runtime.close_set_retries").inc()
+        else:
+            state.own_rtt_ms = rtt
+
+        def timed_out() -> None:
+            state.perturbed = True
+            self._request_own_close_set(
+                record, state, caller, callee, attempt + 1, on_complete, media_duration_ms
+            )
+
+        self.network.request(
+            caller,
+            surrogate.ip,
+            "close-set-request",
+            timeout_ms=self._policy.close_set_timeout_ms,
+            rtt_ms=rtt,
+            on_response=lambda: self._leg_done(
+                record, state, "own", caller, callee, on_complete, media_duration_ms
+            ),
+            on_timeout=timed_out,
+        )
+
+    def _request_peer_close_set(
+        self, record, state, caller, callee, attempt, on_complete, media_duration_ms
+    ) -> None:
+        order = self._surrogate_order(record.session.callee_cluster, callee.ip)
+        if attempt >= len(order):
+            state.peer_failed = True
+            self._leg_done(record, state, "peer", caller, callee, on_complete, media_duration_ms)
+            return
+        surrogate = order[attempt]
+        self._ensure_registered(surrogate.ip)
+        peer_leg = self._rtt_between(caller, callee)
+        callee_leg = self._rtt_between(callee, surrogate.host)
+        if peer_leg is None:
+            # Callee vanished from the routing fabric after the ping —
+            # only possible structurally, so no retry value.
+            self.network.send(caller, callee.ip, "close-set-request")
+            self._leg_done(record, state, "peer", caller, callee, on_complete, media_duration_ms)
+            return
+        combined = peer_leg + (callee_leg if callee_leg is not None else 0.0)
+        if attempt > 0:
+            record.retries += 1
+            obs.counter("runtime.close_set_retries").inc()
+        else:
+            state.peer_rtt_ms = combined
+
+        def timed_out() -> None:
+            state.perturbed = True
+            self._request_peer_close_set(
+                record, state, caller, callee, attempt + 1, on_complete, media_duration_ms
+            )
+
+        self.network.request(
+            caller,
+            callee.ip,
+            "close-set-request",
+            timeout_ms=self._policy.close_set_timeout_ms,
+            rtt_ms=combined,
+            on_response=lambda: self._leg_done(
+                record, state, "peer", caller, callee, on_complete, media_duration_ms
+            ),
+            on_timeout=timed_out,
+        )
+
+    def _leg_done(
+        self, record, state, leg: str, caller, callee, on_complete, media_duration_ms
+    ) -> None:
+        if leg == "own":
+            state.own_done = True
+        else:
+            state.peer_done = True
+        if not state.fetch_done:
+            return
+        if state.own_failed or state.peer_failed:
+            self._setup_complete(
+                record,
+                "degraded",
+                on_complete,
+                media_duration_ms,
+                reason="close-set-unavailable",
+            )
+            return
+        self._start_two_hop(record, state, caller, on_complete, media_duration_ms)
+
+    def _start_two_hop(self, record, state, caller, on_complete, media_duration_ms) -> None:
+        """Query candidate surrogates' close sets in parallel (Fig. 8 step 4)."""
+        session = record.session
+        selection = session.selection
+
+        def one_resolved() -> None:
+            state.two_hop_pending -= 1
+            if state.two_hop_pending == 0:
+                self._finalize_setup(record, state, on_complete, media_duration_ms)
+
+        def one_timed_out() -> None:
+            state.perturbed = True
+            one_resolved()
+
+        if selection is not None and selection.two_hop_queries > 0:
+            for candidate in selection.one_hop[: selection.two_hop_queries]:
+                surrogate = self._system.surrogate(candidate.cluster, requester=caller.ip)
+                self._ensure_registered(surrogate.ip)
+                rtt = self._rtt_between(caller, surrogate.host)
+                if rtt is None:
+                    self.network.send(caller, surrogate.ip, "close-set-request")
+                    continue
+                state.two_hop_ms = max(state.two_hop_ms, rtt)
+                state.two_hop_pending += 1
+                self.network.request(
+                    caller,
+                    surrogate.ip,
+                    "close-set-request",
+                    timeout_ms=self._policy.two_hop_timeout_ms,
+                    rtt_ms=rtt,
+                    on_response=one_resolved,
+                    on_timeout=one_timed_out,
+                )
+        if state.two_hop_pending == 0:
+            self._finalize_setup(record, state, on_complete, media_duration_ms)
+
+    def _finalize_setup(self, record, state, on_complete, media_duration_ms) -> None:
+        completed_ms = None if state.perturbed else state.analytic_completed_ms
+        selection = record.session.selection
+        relay = self._pick_relay(record.session)
+        if relay is not None:
+            record.relay_cluster, record.relay_ip = relay
+            self._setup_complete(
+                record, "completed", on_complete, media_duration_ms,
+                completed_ms=completed_ms,
+            )
+            return
+        had_candidates = selection is not None and (
+            selection.one_hop or selection.two_hop
+        )
+        self._setup_complete(
+            record,
+            "degraded",
+            on_complete,
+            media_duration_ms,
+            reason="relay-offline" if had_candidates else "no-relay-candidates",
+            completed_ms=completed_ms,
+        )
+
+    def _relay_candidate_clusters(self, session: ASAPSession) -> List[Tuple[float, int]]:
+        """Failover candidate clusters, best relay-path RTT first."""
+        selection = session.selection
+        if selection is None:
+            return []
+        ranked: List[Tuple[float, int]] = [
+            (c.relay_rtt_ms, c.cluster) for c in selection.one_hop
+        ]
+        ranked += [(c.relay_rtt_ms, c.first) for c in selection.two_hop]
+        ranked.sort()
+        seen: Set[int] = set()
+        out: List[Tuple[float, int]] = []
+        for rtt, cluster in ranked:
+            if cluster not in seen:
+                seen.add(cluster)
+                out.append((rtt, cluster))
+        return out
+
+    def _pick_relay(
+        self, session: ASAPSession, exclude: Optional[Set[IPv4Address]] = None
+    ) -> Optional[Tuple[int, IPv4Address]]:
+        """Best candidate relay host that is online right now."""
+        exclude = exclude or set()
+        exclude = exclude | {session.caller, session.callee}
+        for _, cluster in self._relay_candidate_clusters(session):
+            for host in self._system.online_hosts_in_cluster(cluster):
+                if host.ip in exclude or self.network.is_host_down(host.ip):
+                    continue
+                return cluster, host.ip
+        return None
+
+    def _setup_complete(
+        self,
+        record,
+        outcome: str,
+        on_complete,
+        media_duration_ms,
+        reason: Optional[str] = None,
+        completed_ms: Optional[float] = None,
+    ) -> None:
+        record.completed_ms = self.sim.now_ms if completed_ms is None else completed_ms
+        record.outcome = outcome
+        record.failure_reason = reason
         obs.counter("runtime.call_setups").inc()
+        if outcome == "degraded":
+            obs.counter("runtime.call_setups_degraded").inc()
         if record.setup_ms is not None:
             obs.histogram("runtime.call_setup_ms").observe(record.setup_ms)
         if on_complete is not None:
             on_complete(record)
+        if media_duration_ms is not None:
+            self._start_media(record, media_duration_ms)
+
+    def _setup_failed(self, record, reason: str, on_complete) -> None:
+        record.outcome = "failed"
+        record.failure_reason = reason
+        obs.counter("runtime.call_setups_failed").inc()
+        obs.event(
+            "call.failed",
+            level="debug",
+            caller=str(record.caller),
+            callee=str(record.callee),
+            reason=reason,
+        )
+        if on_complete is not None:
+            on_complete(record)
+
+    # -- in-call keepalives + relay failover ------------------------------------
+
+    def _start_media(self, record: CallSetupRecord, duration_ms: float) -> None:
+        session = record.session
+        base_rtt = session.best_path_rtt_ms if session is not None else float("inf")
+        if record.path == "direct" and session is not None:
+            base_rtt = session.direct_rtt_ms
+        media = MediaSessionRecord(
+            caller=record.caller,
+            callee=record.callee,
+            started_ms=self.sim.now_ms,
+            ends_ms=self.sim.now_ms + duration_ms,
+            relay_cluster=record.relay_cluster,
+            relay_ip=record.relay_ip,
+            base_rtt_ms=float(base_rtt),
+        )
+        if session is not None:
+            media.candidates = self._relay_candidate_clusters(session)
+        self.media_sessions.append(media)
+        obs.counter("runtime.media_sessions").inc()
+        if media.relay_ip is not None:
+            self._ensure_registered(media.relay_ip)
+            self.sim.schedule(
+                self._policy.keepalive_interval_ms, lambda: self._keepalive(media, record)
+            )
+        self.sim.schedule_at(media.ends_ms, lambda: self._finish_media(media))
+
+    def _keepalive(self, media: MediaSessionRecord, record: CallSetupRecord) -> None:
+        if media.outcome != "active" or media.relay_ip is None:
+            return
+        if self.sim.now_ms >= media.ends_ms:
+            return
+        caller = self._ensure_registered(media.caller)
+        relay_host = self._ensure_registered(media.relay_ip)
+        media.keepalives += 1
+        sent_at = self.sim.now_ms
+        rtt = self._rtt_between(caller, relay_host)
+        self.network.request(
+            caller,
+            media.relay_ip,
+            "keepalive",
+            timeout_ms=self._policy.keepalive_timeout_ms,
+            rtt_ms=rtt,
+            on_response=lambda: self._keepalive_ok(media, record, sent_at),
+            on_timeout=lambda: self._relay_lost(media, record, sent_at),
+        )
+
+    def _keepalive_ok(self, media, record, sent_at: float) -> None:
+        if media.outcome != "active":
+            return
+        next_at = sent_at + self._policy.keepalive_interval_ms
+        if next_at < media.ends_ms:
+            self.sim.schedule_at(
+                max(next_at, self.sim.now_ms), lambda: self._keepalive(media, record)
+            )
+
+    def _relay_lost(self, media, record, sent_at: float) -> None:
+        """A keepalive went unanswered: the relay is presumed dead."""
+        if media.outcome != "active":
+            return
+        obs.counter("runtime.keepalive_timeouts").inc()
+        dead = media.relay_ip
+        media.dead_relays.add(dead)
+        detected = self.sim.now_ms
+        self._failover(media, record, dead, sent_at, detected)
+
+    def _failover(self, media, record, old_relay, outage_start, detected) -> None:
+        candidate = (
+            self._pick_relay(record.session, exclude=media.dead_relays)
+            if record.session is not None
+            else None
+        )
+        if candidate is None:
+            self._degrade_media(media, old_relay, outage_start, detected)
+            return
+        cluster, ip = candidate
+        caller = self._ensure_registered(media.caller)
+        relay_host = self._ensure_registered(ip)
+        rtt = self._rtt_between(caller, relay_host)
+        self.network.request(
+            caller,
+            ip,
+            "relay-setup",
+            timeout_ms=self._policy.keepalive_timeout_ms,
+            rtt_ms=rtt,
+            on_response=lambda: self._failover_done(
+                media, record, old_relay, cluster, ip, outage_start, detected
+            ),
+            on_timeout=lambda: self._failover_candidate_dead(
+                media, record, old_relay, ip, outage_start, detected
+            ),
+        )
+
+    def _failover_candidate_dead(
+        self, media, record, old_relay, ip, outage_start, detected
+    ) -> None:
+        if media.outcome != "active":
+            return
+        media.dead_relays.add(ip)
+        self._failover(media, record, old_relay, outage_start, detected)
+
+    def _failover_done(
+        self, media, record, old_relay, cluster, ip, outage_start, detected
+    ) -> None:
+        if media.outcome != "active":
+            return
+        restored = self.sim.now_ms
+        event = FailoverEvent(
+            detected_ms=detected,
+            restored_ms=restored,
+            old_relay=old_relay,
+            new_relay=ip,
+            interruption_ms=restored - outage_start,
+        )
+        media.failovers.append(event)
+        media.outage_windows.append(OutageWindow(start_ms=outage_start, end_ms=restored))
+        media.relay_cluster = cluster
+        media.relay_ip = ip
+        obs.counter("runtime.failovers").inc()
+        obs.histogram("runtime.failover_ms").observe(event.failover_ms)
+        obs.histogram("runtime.interruption_ms").observe(event.interruption_ms)
+        next_at = restored + self._policy.keepalive_interval_ms
+        if next_at < media.ends_ms:
+            self.sim.schedule_at(next_at, lambda: self._keepalive(media, record))
+
+    def _degrade_media(self, media, old_relay, outage_start, detected) -> None:
+        """No surviving relay candidate: direct path, or drop the call."""
+        restored = self.sim.now_ms
+        caller = self._ensure_registered(media.caller)
+        callee = self._ensure_registered(media.callee)
+        direct = self._rtt_between(caller, callee)
+        event = FailoverEvent(
+            detected_ms=detected,
+            restored_ms=restored,
+            old_relay=old_relay,
+            new_relay=None,
+            interruption_ms=restored - outage_start,
+        )
+        media.failovers.append(event)
+        obs.histogram("runtime.interruption_ms").observe(event.interruption_ms)
+        if direct is not None and np.isfinite(direct):
+            media.outage_windows.append(OutageWindow(start_ms=outage_start, end_ms=restored))
+            media.degraded_to_direct = True
+            media.relay_ip = None
+            media.relay_cluster = None
+            obs.counter("runtime.media_degraded").inc()
+            return
+        # Nothing carries the call: it drops here, the rest is outage.
+        media.outage_windows.append(OutageWindow(start_ms=outage_start, end_ms=media.ends_ms))
+        media.outcome = "dropped"
+        media.ends_ms = restored
+        obs.counter("runtime.media_dropped").inc()
+        self._score_media(media)
+
+    def _finish_media(self, media: MediaSessionRecord) -> None:
+        if media.outcome != "active":
+            return
+        media.outcome = "finished"
+        obs.counter("runtime.media_finished").inc()
+        self._score_media(media)
+
+    def _score_media(self, media: MediaSessionRecord) -> None:
+        duration = max(media.duration_ms, 1e-9)
+        base_mos = (
+            mos_of_path(media.base_rtt_ms)
+            if np.isfinite(media.base_rtt_ms)
+            else 1.0
+        )
+        media.impact = account_outages(
+            base_mos=base_mos,
+            duration_ms=duration,
+            windows=media.outage_windows,
+        )
+        obs.histogram("runtime.media_mos_dip").observe(media.impact.mos_dip)
 
     # -- churn --------------------------------------------------------------------
+
+    def fail_host(self, ip: IPv4Address):
+        """Take a host down *now*: network silence + protocol departure.
+
+        Used by the fault injector for crashes and churn.  Returns the
+        promoted surrogate when the victim led its cluster.
+        """
+        self.network.set_host_down(ip)
+        if ip not in self._scenario.population:
+            return None
+        promoted = self._system.leave(ip)
+        if promoted is not None:
+            cluster_index = self._system.cluster_of_ip(ip)
+            self.surrogate_failures.append((self.sim.now_ms, cluster_index, promoted.ip))
+        return promoted
 
     def schedule_leave(self, ip: IPv4Address, at_ms: float) -> None:
         """An end host leaves the system at a simulated time.
 
         Surrogate members trigger re-election (recorded alongside
-        surrogate failures); ordinary members just drop off.
+        surrogate failures); ordinary members just drop off.  The host
+        also goes silent on the network, so in-flight setups and
+        keepalives aimed at it time out instead of succeeding.
         """
-
-        def leave() -> None:
-            promoted = self._system.leave(ip)
-            if promoted is not None:
-                cluster_index = self._system.cluster_of_ip(ip)
-                self.surrogate_failures.append(
-                    (self.sim.now_ms, cluster_index, promoted.ip)
-                )
-
-        self.sim.schedule_at(at_ms, leave)
+        self.sim.schedule_at(at_ms, lambda: self.fail_host(ip))
 
     def schedule_surrogate_failure(self, cluster_index: int, at_ms: float) -> None:
         """Kill a cluster's primary surrogate at a simulated time.
@@ -279,3 +960,11 @@ class ASAPRuntime:
     def setup_times_ms(self) -> List[float]:
         """Setup durations of all completed call setups."""
         return [r.setup_ms for r in self.call_setups if r.setup_ms is not None]
+
+    def pending_records(self) -> List:
+        """Records that never reached a terminal outcome (should be none
+        after a full :meth:`run`)."""
+        hung: List = [j for j in self.joins if j.outcome == "pending"]
+        hung += [c for c in self.call_setups if c.outcome == "pending"]
+        hung += [m for m in self.media_sessions if m.outcome == "active"]
+        return hung

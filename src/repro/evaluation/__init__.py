@@ -30,10 +30,12 @@ from repro.evaluation.robustness import (
     headline_metrics,
     seed_study,
 )
+from repro.evaluation.chaos import ChaosResult, run_chaos, sweep_chaos
 from repro.evaluation.figures import export_all
 
 __all__ = [
     "ASAPPolicy",
+    "ChaosResult",
     "HeadlineMetrics",
     "METHOD_NAMES",
     "MethodRecord",
@@ -50,10 +52,12 @@ __all__ = [
     "generate_workload",
     "headline_metrics",
     "run_scalability",
+    "run_chaos",
     "run_section3",
     "run_section5",
     "run_section7",
     "run_skype_batch",
     "seed_study",
+    "sweep_chaos",
     "summarize_method",
 ]

@@ -1,0 +1,41 @@
+"""``repro.faults`` — deterministic fault injection for the ASAP runtime.
+
+The paper's whole argument is about misbehaving networks: relays beat
+direct routing *because* ASes congest and fail, and Skype's Limit 3 is
+slow stabilization under relay churn.  This package makes those
+dynamics first-class:
+
+- :class:`FaultScheduleConfig` declares the experiment (crash rates,
+  churn waves, bootstrap/AS outage windows, loss bursts) with a seed;
+- :func:`compile_schedule` expands it against a scenario into a
+  deterministic :class:`FaultSchedule` timeline;
+- :class:`FaultInjector` replays the timeline into a running
+  :class:`~repro.core.runtime.ASAPRuntime`, keeping a byte-stable
+  structured fault log.
+
+Same config + same scenario ⇒ identical schedule, log and downstream
+metrics — chaos runs are fully auditable and reproducible.
+"""
+
+from repro.faults.config import (
+    ASOutage,
+    BootstrapOutage,
+    ChurnWave,
+    FaultScheduleConfig,
+    LossBurst,
+)
+from repro.faults.injector import FaultInjector, FaultLogEntry
+from repro.faults.schedule import FaultEvent, FaultSchedule, compile_schedule
+
+__all__ = [
+    "ASOutage",
+    "BootstrapOutage",
+    "ChurnWave",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultLogEntry",
+    "FaultSchedule",
+    "FaultScheduleConfig",
+    "LossBurst",
+    "compile_schedule",
+]

@@ -1,0 +1,155 @@
+"""Apply a compiled fault schedule to a running ASAP runtime.
+
+The injector turns each :class:`~repro.faults.schedule.FaultEvent` into
+simulator events against the runtime's :class:`~repro.sim.network.SimNetwork`
+and :class:`~repro.core.protocol.ASAPSystem`, and keeps a structured
+**fault log**: one entry per applied (or skipped) fault, in simulated
+time order, serializable to canonical JSON lines.  Two runs with the
+same schedule over the same scenario produce byte-identical logs — the
+determinism check chaos CI relies on.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import obs
+from repro.faults.schedule import FaultEvent, FaultSchedule
+from repro.netaddr import IPv4Address
+
+
+@dataclass(frozen=True)
+class FaultLogEntry:
+    """One fault as actually applied to the runtime."""
+
+    at_ms: float
+    kind: str
+    target: str
+    outcome: str                      # "applied" | "skipped"
+    detail: str = ""
+
+    def to_json(self) -> str:
+        doc = {
+            "at_ms": self.at_ms,
+            "kind": self.kind,
+            "target": self.target,
+            "outcome": self.outcome,
+        }
+        if self.detail:
+            doc["detail"] = self.detail
+        return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+class FaultInjector:
+    """Wires a :class:`FaultSchedule` into a runtime's simulator."""
+
+    def __init__(self, runtime, schedule: FaultSchedule) -> None:
+        self._runtime = runtime
+        self._schedule = schedule
+        self.log: List[FaultLogEntry] = []
+        self._installed = False
+
+    @property
+    def schedule(self) -> FaultSchedule:
+        return self._schedule
+
+    def install(self) -> int:
+        """Schedule every fault event; returns the number installed.
+
+        Must run before :meth:`runtime.run` drains the queue (events in
+        the simulated past cannot be scheduled).  The network's loss
+        sampler is reseeded from the schedule seed so loss draws — and
+        therefore everything downstream — reproduce exactly.
+        """
+        if self._installed:
+            raise RuntimeError("fault schedule already installed")
+        self._installed = True
+        self._runtime.network.reseed_loss(self._schedule.seed)
+        for event in self._schedule.events:
+            self._runtime.sim.schedule_at(event.at_ms, self._applier(event))
+        obs.counter("faults.scheduled").inc(len(self._schedule.events))
+        return len(self._schedule.events)
+
+    def log_lines(self) -> List[str]:
+        """The fault log as canonical JSON lines (byte-stable)."""
+        return [entry.to_json() for entry in self.log]
+
+    # -- event application -------------------------------------------------
+
+    def _applier(self, event: FaultEvent):
+        def apply() -> None:
+            outcome, detail = self._apply(event)
+            self.log.append(
+                FaultLogEntry(
+                    at_ms=self._runtime.sim.now_ms,
+                    kind=event.kind,
+                    target=event.target,
+                    outcome=outcome,
+                    detail=detail,
+                )
+            )
+            obs.counter("faults.injected").inc()
+            obs.counter(f"faults.{event.kind}").inc()
+            obs.event("fault", level="debug", kind=event.kind, target=event.target)
+
+        return apply
+
+    def _apply(self, event: FaultEvent):
+        runtime = self._runtime
+        network = runtime.network
+        kind = event.kind
+        scope, _, value = event.target.partition(":")
+
+        if kind == "surrogate-crash":
+            cluster_index = int(value)
+            primary = runtime.system.surrogate(cluster_index)
+            if not runtime.system.is_online(primary.ip):
+                return "skipped", "surrogate already offline"
+            promoted = runtime.fail_host(primary.ip)
+            detail = f"crashed {primary.ip}"
+            if promoted is not None:
+                detail += f", promoted {promoted.ip}"
+            return "applied", detail
+
+        if kind == "host-leave":
+            ip = IPv4Address.from_string(value)
+            if not runtime.system.is_online(ip):
+                return "skipped", "already offline"
+            promoted = runtime.fail_host(ip)
+            return "applied", f"promoted {promoted.ip}" if promoted is not None else ""
+
+        if kind in ("bootstrap-down", "bootstrap-up"):
+            index = int(value)
+            bootstraps = runtime.bootstrap_hosts
+            if index >= len(bootstraps):
+                return "skipped", f"only {len(bootstraps)} bootstraps"
+            ip = bootstraps[index].ip
+            if kind == "bootstrap-down":
+                network.set_host_down(ip)
+            else:
+                network.set_host_up(ip)
+            return "applied", str(ip)
+
+        if kind == "as-down":
+            network.set_as_down(int(value))
+            return "applied", ""
+        if kind == "as-up":
+            network.set_as_up(int(value))
+            return "applied", ""
+
+        if kind == "loss-burst-start":
+            asn = None if scope == "net" else int(value)
+            network.push_loss(event.value or 0.0, asn=asn)
+            return "applied", f"rate={event.value}"
+        if kind == "loss-burst-end":
+            asn = None if scope == "net" else int(value)
+            network.pop_loss(event.value or 0.0, asn=asn)
+            return "applied", ""
+
+        if kind == "background-loss":
+            network.set_background_loss(event.value or 0.0)
+            return "applied", f"rate={event.value}"
+
+        return "skipped", f"unknown kind {kind!r}"

@@ -153,6 +153,10 @@ class RunObserver:
                 "close_set_hits": counters.get("cache.close_sets.hits", 0),
                 "close_set_misses": counters.get("cache.close_sets.misses", 0),
             },
+            "network": {
+                "messages_dropped": counters.get("net.dropped", 0),
+                "request_timeouts": counters.get("net.timeouts", 0),
+            },
             "counters": counters,
             "gauges": snapshot["gauges"],
             "histograms": snapshot["histograms"],

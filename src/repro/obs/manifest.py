@@ -52,6 +52,7 @@ MANIFEST_SCHEMA: Dict[str, Tuple[tuple, bool]] = {
     "config_key": ((str, _NoneType), True),
     "workers": ((int, _NoneType), True),
     "cache": ((dict,), True),
+    "network": ((dict,), False),
     "counters": ((dict,), True),
     "gauges": ((dict,), True),
     "histograms": ((dict,), True),
@@ -66,6 +67,12 @@ _CACHE_FIELDS = (
     "scenario_misses",
     "close_set_hits",
     "close_set_misses",
+)
+
+#: Required integer members of the optional ``network`` sub-document.
+_NETWORK_FIELDS = (
+    "messages_dropped",
+    "request_timeouts",
 )
 
 
@@ -101,6 +108,11 @@ def validate_manifest(document: dict) -> List[str]:
         for field in _CACHE_FIELDS:
             if not isinstance(cache.get(field), int):
                 problems.append(f"cache.{field} must be an integer")
+    network = document.get("network")
+    if isinstance(network, dict):
+        for field in _NETWORK_FIELDS:
+            if not isinstance(network.get(field), int):
+                problems.append(f"network.{field} must be an integer")
     counters = document.get("counters")
     if isinstance(counters, dict):
         for key, value in counters.items():

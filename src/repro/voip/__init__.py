@@ -8,6 +8,13 @@ ITU G.114) and MOS above 3.6.
 
 from repro.voip.codecs import Codec, G711, G723_1, G729, G729A_VAD
 from repro.voip.emodel import EModel, EModelConfig
+from repro.voip.outage import (
+    OUTAGE_FLOOR_MOS,
+    OutageImpact,
+    OutageWindow,
+    account_outages,
+    merge_windows,
+)
 from repro.voip.quality import (
     MOS_THRESHOLD,
     RTT_THRESHOLD_MS,
@@ -25,7 +32,12 @@ __all__ = [
     "G729",
     "G729A_VAD",
     "MOS_THRESHOLD",
+    "OUTAGE_FLOOR_MOS",
+    "OutageImpact",
+    "OutageWindow",
     "RTT_THRESHOLD_MS",
+    "account_outages",
+    "merge_windows",
     "is_quality_mos",
     "is_quality_rtt",
     "mos_of_path",

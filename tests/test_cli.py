@@ -86,3 +86,37 @@ class TestExtendedCommands:
         assert rc == 0
         out = capsys.readouterr().out
         assert "aggregate:" in out
+
+    def test_chaos_writes_fault_log_and_summary(self, tmp_path, capsys):
+        rc = main([
+            "chaos", "--scale", "tiny", "--seed", "11",
+            "--sessions", "10", "--joins", "10",
+            "--duration-ms", "15000", "--media-ms", "4000",
+            "--churn-rate", "30", "--crash-rate", "4", "--loss-rate", "0.02",
+            "--fault-log", str(tmp_path / "faults.jsonl"),
+            "--json", str(tmp_path / "chaos.json"),
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "chaos run:" in out
+        assert "calls" in out
+        import json
+
+        log_lines = (tmp_path / "faults.jsonl").read_text().strip().splitlines()
+        assert log_lines
+        for line in log_lines:
+            assert json.loads(line)["kind"]
+        summary = json.loads((tmp_path / "chaos.json").read_text())
+        assert sum(summary["calls"].values()) == 10
+
+    def test_chaos_sweep(self, capsys):
+        rc = main([
+            "chaos", "--scale", "tiny", "--seed", "11",
+            "--sessions", "8", "--joins", "8",
+            "--duration-ms", "10000", "--churn-rate", "20",
+            "--sweep", "0,1",
+        ])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "intensity 0:" in out
+        assert "intensity 1:" in out

@@ -1,0 +1,343 @@
+"""Tests for runtime fault tolerance: retries, failover, chaos runs."""
+
+import numpy as np
+import pytest
+
+from repro.core import ASAPConfig
+from repro.core.config import derive_k_hops
+from repro.core.runtime import ASAPRuntime, RuntimePolicy
+from repro.errors import ConfigurationError, ProtocolError
+from repro.evaluation.chaos import run_chaos, sweep_chaos
+from repro.faults import FaultScheduleConfig
+from repro.scenario import tiny_scenario
+from repro.voip.outage import OutageWindow, account_outages, merge_windows
+
+
+@pytest.fixture(scope="module")
+def scenario():
+    return tiny_scenario(seed=11)
+
+
+@pytest.fixture()
+def runtime(scenario):
+    return ASAPRuntime(
+        scenario, ASAPConfig(k_hops=derive_k_hops(scenario.matrices))
+    )
+
+
+def latent_host_pair(scenario):
+    m = scenario.matrices
+    clusters = scenario.clusters.all_clusters()
+    for a, b in np.argwhere(m.rtt_ms > 300):
+        ca, cb = clusters[int(a)], clusters[int(b)]
+        if ca.hosts and cb.hosts:
+            return ca.hosts[0].ip, cb.hosts[0].ip
+    pytest.skip("no latent pair")
+
+
+def relayed_setup(runtime, scenario):
+    """A completed latent call that actually selected a relay."""
+    m = scenario.matrices
+    clusters = scenario.clusters.all_clusters()
+    for a, b in np.argwhere(m.rtt_ms > 300):
+        ca, cb = clusters[int(a)], clusters[int(b)]
+        if not (ca.hosts and cb.hosts):
+            continue
+        record = runtime.schedule_call(
+            ca.hosts[0].ip, cb.hosts[0].ip, at_ms=runtime.sim.now_ms
+        )
+        runtime.run()
+        if record.outcome == "completed" and record.relay_ip is not None:
+            return record
+    pytest.skip("no latent pair with a live relay candidate")
+
+
+class TestRuntimePolicy:
+    def test_defaults_valid(self):
+        policy = RuntimePolicy()
+        assert policy.backoff_ms(0) == policy.backoff_base_ms
+        assert policy.backoff_ms(2) == policy.backoff_base_ms * policy.backoff_factor**2
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RuntimePolicy(join_timeout_ms=0)
+        with pytest.raises(ConfigurationError):
+            RuntimePolicy(max_join_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RuntimePolicy(backoff_factor=0.5)
+
+
+class TestJoinFaults:
+    def test_join_fails_over_to_next_bootstrap(self, scenario, runtime):
+        ip = scenario.population.hosts[0].ip
+        first = runtime.bootstrap_hosts[ip.value % len(runtime.bootstrap_hosts)]
+        runtime.network.set_host_down(first.ip)
+        record = runtime.schedule_join(ip)
+        runtime.run()
+        assert record.outcome == "completed"
+        assert record.attempts == 2
+        assert record.completed_ms is not None
+        # The retry waited out a timeout + backoff before succeeding.
+        assert record.duration_ms > runtime.policy.join_timeout_ms
+
+    def test_join_fails_when_all_bootstraps_down(self, scenario, runtime):
+        for host in runtime.bootstrap_hosts:
+            runtime.network.set_host_down(host.ip)
+        record = runtime.schedule_join(scenario.population.hosts[0].ip)
+        runtime.run()
+        assert record.outcome == "failed"
+        assert record.failure_reason == "join-timeout"
+        assert record.completed_ms is None  # failed joins never complete
+        assert record.attempts == runtime.policy.max_join_attempts
+
+    def test_failed_join_counted_in_obs(self, scenario):
+        from repro import obs
+
+        with obs.observe(command="test") as observer:
+            runtime = ASAPRuntime(scenario, ASAPConfig())
+            for host in runtime.bootstrap_hosts:
+                runtime.network.set_host_down(host.ip)
+            runtime.schedule_join(scenario.population.hosts[0].ip)
+            runtime.run()
+            counters = observer.registry.snapshot()["counters"]
+        assert counters.get("runtime.joins_failed") == 1
+
+
+class TestCallSetupFaults:
+    def test_callee_down_fails_terminally(self, scenario, runtime):
+        caller, callee = latent_host_pair(scenario)
+        runtime.network.set_host_down(callee)
+        record = runtime.schedule_call(caller, callee)
+        runtime.run()
+        assert record.outcome == "failed"
+        assert record.failure_reason == "ping-timeout"
+        assert record.attempts == runtime.policy.max_ping_attempts
+        assert record.completed_ms is None
+        assert not runtime.pending_records()
+
+    def test_own_surrogate_group_down_degrades_to_direct(self, scenario, runtime):
+        caller, callee = latent_host_pair(scenario)
+        cluster = runtime.system.cluster_of_ip(caller)
+        for member in runtime.system.surrogate_group(cluster):
+            if member.ip not in (caller, callee):
+                runtime.network.set_host_down(member.ip)
+        record = runtime.schedule_call(caller, callee)
+        runtime.run()
+        assert record.outcome in ("degraded", "completed")
+        if record.outcome == "degraded":
+            assert record.failure_reason == "close-set-unavailable"
+            assert record.path == "direct"
+            assert record.completed_ms is not None  # degraded still terminates
+
+    def test_zero_faults_full_outcomes(self, scenario, runtime):
+        caller, callee = latent_host_pair(scenario)
+        record = runtime.schedule_call(caller, callee)
+        runtime.run()
+        assert record.outcome in ("completed", "degraded")
+        assert record.terminal
+        assert record.attempts == 1
+        assert record.retries == 0
+
+
+class TestRelayExclusion:
+    def test_offline_relay_cluster_leaves_selection(self, scenario):
+        """Regression: churned-dark clusters must not stay relay candidates."""
+        config = ASAPConfig(k_hops=derive_k_hops(scenario.matrices))
+        runtime = ASAPRuntime(scenario, config)
+        record = relayed_setup(runtime, scenario)
+        target = record.relay_cluster
+        # Take every host of the selected relay cluster offline.
+        fresh = ASAPRuntime(scenario, config)
+        for host in fresh.system.online_hosts_in_cluster(target):
+            fresh.system.leave(host.ip)
+        assert fresh.system.online_size(target) == 0
+        session = fresh.system.call(record.caller, record.callee)
+        if session.selection is not None:
+            assert target not in [c.cluster for c in session.selection.one_hop]
+            assert target not in [c.first for c in session.selection.two_hop]
+            assert target not in [c.second for c in session.selection.two_hop]
+
+    def test_pick_relay_skips_offline_hosts(self, scenario):
+        config = ASAPConfig(k_hops=derive_k_hops(scenario.matrices))
+        runtime = ASAPRuntime(scenario, config)
+        record = relayed_setup(runtime, scenario)
+        session = record.session
+        first_choice = record.relay_ip
+        runtime.system.leave(first_choice)
+        alt = runtime._pick_relay(session)
+        if alt is not None:
+            assert alt[1] != first_choice
+
+
+class TestKeepaliveFailover:
+    def test_relay_death_triggers_failover_or_degrade(self, scenario):
+        config = ASAPConfig(k_hops=derive_k_hops(scenario.matrices))
+        runtime = ASAPRuntime(scenario, config)
+        caller, callee = latent_host_pair(scenario)
+        record = runtime.schedule_call(
+            caller, callee, media_duration_ms=12_000.0
+        )
+        runtime.run(until_ms=5_000.0)
+        if record.outcome != "completed" or record.relay_ip is None:
+            pytest.skip("setup did not select a relay on this scenario")
+        media = runtime.media_sessions[0]
+        runtime.schedule_leave(record.relay_ip, at_ms=runtime.sim.now_ms + 100.0)
+        runtime.run()
+        assert media.outcome in ("finished", "dropped")
+        assert media.failovers, "relay death must be detected via keepalives"
+        event = media.failovers[0]
+        assert event.interruption_ms > 0
+        assert event.old_relay == record.relay_ip
+        if event.new_relay is not None:
+            assert event.new_relay != record.relay_ip
+            assert media.relay_ip == media.failovers[-1].new_relay or media.degraded_to_direct
+        assert media.impact is not None
+        assert media.impact.interruption_ms > 0
+        assert media.impact.mos_dip >= 0
+
+    def test_fault_free_media_session_clean(self, scenario):
+        config = ASAPConfig(k_hops=derive_k_hops(scenario.matrices))
+        runtime = ASAPRuntime(scenario, config)
+        caller, callee = latent_host_pair(scenario)
+        runtime.schedule_call(caller, callee, media_duration_ms=6_000.0)
+        runtime.run()
+        assert runtime.media_sessions
+        media = runtime.media_sessions[0]
+        assert media.outcome == "finished"
+        assert not media.failovers
+        assert media.impact is not None
+        assert media.impact.mos_dip == 0.0
+        assert media.impact.interruption_ms == 0.0
+
+
+class TestRepeatedChurn:
+    def test_repeated_surrogate_failures_reelect_consistently(self, scenario):
+        """Repeated failures on one cluster keep promoting fresh primaries
+        and keep every bootstrap's surrogate table in sync."""
+        runtime = ASAPRuntime(scenario, ASAPConfig())
+        big = max(scenario.clusters.all_clusters(), key=len)
+        if len(big) < 3:
+            pytest.skip("need a cluster with >= 3 hosts")
+        idx = scenario.matrices.index_of[big.prefix]
+        seen = [runtime.system.surrogate(idx).ip]
+        for round_no in range(2):
+            fresh = runtime.system.fail_surrogate(idx)
+            assert fresh.ip not in seen, "re-election must not resurrect the dead"
+            seen.append(fresh.ip)
+            for bootstrap in runtime.system.bootstraps:
+                assert bootstrap.surrogate_for(big.prefix) == fresh.ip
+
+    def test_exhausting_cluster_raises(self, scenario):
+        runtime = ASAPRuntime(scenario, ASAPConfig())
+        sized = sorted(scenario.clusters.all_clusters(), key=len)
+        cluster = next((c for c in sized if len(c) == 2), None)
+        if cluster is None:
+            pytest.skip("no 2-host cluster")
+        idx = scenario.matrices.index_of[cluster.prefix]
+        runtime.system.fail_surrogate(idx)
+        with pytest.raises(ProtocolError):
+            runtime.system.fail_surrogate(idx)
+
+    def test_leave_then_fail_surrogate_consistent(self, scenario):
+        runtime = ASAPRuntime(scenario, ASAPConfig())
+        big = max(scenario.clusters.all_clusters(), key=len)
+        if len(big) < 3:
+            pytest.skip("need a cluster with >= 3 hosts")
+        idx = scenario.matrices.index_of[big.prefix]
+        runtime.schedule_leave(runtime.system.surrogate(idx).ip, at_ms=10.0)
+        runtime.run()
+        second = runtime.system.surrogate(idx).ip
+        fresh = runtime.system.fail_surrogate(idx)
+        assert fresh.ip != second
+        online = {h.ip for h in runtime.system.online_hosts_in_cluster(idx)}
+        assert fresh.ip in online
+        assert second not in online
+
+
+class TestChaosRuns:
+    def test_no_call_ever_hangs_under_faults(self, scenario):
+        config = FaultScheduleConfig(
+            seed=9,
+            duration_ms=30_000,
+            surrogate_crash_rate_per_min=6.0,
+            host_churn_rate_per_min=40.0,
+            message_loss_rate=0.05,
+            random_as_outages=1,
+        )
+        result = run_chaos(
+            scenario, config, sessions=20, joins=20, media_duration_ms=5_000, seed=3
+        )
+        assert sum(result.call_outcomes.values()) == 20
+        assert set(result.call_outcomes) <= {"completed", "degraded", "failed"}
+        assert set(result.join_outcomes) <= {"completed", "failed"}
+        assert set(result.media_outcomes) <= {"finished", "dropped"}
+
+    def test_chaos_is_deterministic(self, scenario):
+        config = FaultScheduleConfig(
+            seed=4,
+            duration_ms=20_000,
+            host_churn_rate_per_min=30.0,
+            message_loss_rate=0.02,
+        )
+        a = run_chaos(scenario, config, sessions=15, joins=15, seed=2)
+        b = run_chaos(scenario, config, sessions=15, joins=15, seed=2)
+        assert a.to_json() == b.to_json()
+        assert a.fault_log == b.fault_log
+
+    def test_zero_fault_chaos_all_clean(self, scenario):
+        result = run_chaos(
+            scenario,
+            FaultScheduleConfig.zeroed(duration_ms=20_000),
+            sessions=15,
+            joins=15,
+            seed=2,
+        )
+        assert result.fault_events == 0
+        assert result.fault_log == []
+        assert "failed" not in result.call_outcomes
+        assert result.request_timeouts == 0
+
+    def test_sweep_scales_intensity(self, scenario):
+        base = FaultScheduleConfig(
+            seed=6, duration_ms=15_000, host_churn_rate_per_min=40.0
+        )
+        results = sweep_chaos(
+            scenario, base, intensities=(0.0, 1.0), sessions=10, joins=10, seed=1
+        )
+        assert results[0][1].fault_events == 0
+        assert results[1][1].fault_events > 0
+
+
+class TestOutageAccounting:
+    def test_merge_windows(self):
+        merged = merge_windows(
+            [
+                OutageWindow(start_ms=0, end_ms=100),
+                OutageWindow(start_ms=50, end_ms=150),
+                OutageWindow(start_ms=300, end_ms=400),
+            ]
+        )
+        assert [(w.start_ms, w.end_ms) for w in merged] == [(0, 150), (300, 400)]
+
+    def test_account_outages_weights_by_time(self):
+        impact = account_outages(
+            base_mos=4.0,
+            duration_ms=1_000.0,
+            windows=[OutageWindow(start_ms=0, end_ms=500)],
+        )
+        assert impact.outage_fraction == pytest.approx(0.5)
+        assert impact.effective_mos == pytest.approx(2.5)
+        assert impact.mos_dip == pytest.approx(1.5)
+
+    def test_windows_clipped_to_call(self):
+        impact = account_outages(
+            base_mos=4.0,
+            duration_ms=1_000.0,
+            windows=[OutageWindow(start_ms=900, end_ms=5_000)],
+        )
+        assert impact.interruption_ms == pytest.approx(100.0)
+
+    def test_no_windows_no_dip(self):
+        impact = account_outages(base_mos=4.2, duration_ms=1_000.0, windows=[])
+        assert impact.mos_dip == 0.0
+        assert impact.effective_mos == 4.2
