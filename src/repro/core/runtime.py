@@ -879,10 +879,11 @@ class ASAPRuntime:
             media.relay_cluster = None
             obs.counter("runtime.media_degraded").inc()
             return
-        # Nothing carries the call: it drops here, the rest is outage.
+        # Nothing carries the call: it drops here.  The call is still
+        # scored over its scheduled duration, with the undelivered tail
+        # (through ends_ms) counted as outage.
         media.outage_windows.append(OutageWindow(start_ms=outage_start, end_ms=media.ends_ms))
         media.outcome = "dropped"
-        media.ends_ms = restored
         obs.counter("runtime.media_dropped").inc()
         self._score_media(media)
 
@@ -900,10 +901,19 @@ class ASAPRuntime:
             if np.isfinite(media.base_rtt_ms)
             else 1.0
         )
+        # Windows are recorded in absolute sim time, but account_outages
+        # clips against [0, duration] — shift them call-relative first.
+        windows = [
+            OutageWindow(
+                start_ms=w.start_ms - media.started_ms,
+                end_ms=w.end_ms - media.started_ms,
+            )
+            for w in media.outage_windows
+        ]
         media.impact = account_outages(
             base_mos=base_mos,
             duration_ms=duration,
-            windows=media.outage_windows,
+            windows=windows,
         )
         obs.histogram("runtime.media_mos_dip").observe(media.impact.mos_dip)
 

@@ -195,6 +195,62 @@ class TestKeepaliveFailover:
         assert media.impact.interruption_ms > 0
         assert media.impact.mos_dip >= 0
 
+    def test_late_call_outage_scored_call_relative(self, scenario):
+        """Regression: outage windows must be shifted call-relative.
+
+        Windows are recorded in absolute sim time; they used to be passed
+        to account_outages unshifted, so any call whose start time
+        exceeded its own duration (the normal case mid-run) had every
+        window clipped away and scored mos_dip == 0.
+        """
+        config = ASAPConfig(k_hops=derive_k_hops(scenario.matrices))
+        runtime = ASAPRuntime(scenario, config)
+        caller, callee = latent_host_pair(scenario)
+        record = runtime.schedule_call(
+            caller, callee, at_ms=60_000.0, media_duration_ms=8_000.0
+        )
+        runtime.run(until_ms=62_000.0)
+        if record.outcome != "completed" or record.relay_ip is None:
+            pytest.skip("setup did not select a relay on this scenario")
+        media = runtime.media_sessions[0]
+        assert media.started_ms > media.duration_ms  # the failing regime
+        runtime.schedule_leave(record.relay_ip, at_ms=runtime.sim.now_ms + 100.0)
+        runtime.run()
+        assert media.failovers
+        assert media.impact is not None
+        assert media.impact.interruption_ms > 0
+        assert media.impact.mos_dip > 0
+
+    def test_dropped_call_tail_counts_as_outage(self, scenario, monkeypatch):
+        """A dropped call keeps its scheduled duration; the undelivered
+        tail is scored as outage rather than silently truncated."""
+        config = ASAPConfig(k_hops=derive_k_hops(scenario.matrices))
+        runtime = ASAPRuntime(scenario, config)
+        caller, callee = latent_host_pair(scenario)
+        record = runtime.schedule_call(
+            caller, callee, media_duration_ms=20_000.0
+        )
+        runtime.run(until_ms=5_000.0)
+        if record.outcome != "completed" or record.relay_ip is None:
+            pytest.skip("setup did not select a relay on this scenario")
+        media = runtime.media_sessions[0]
+        scheduled_end = media.ends_ms
+        # No surviving relay candidate and no direct route: every other
+        # host goes dark and the latency model reports caller/callee as
+        # unreachable, so the failover chain must end in a drop.
+        for host in scenario.population.hosts:
+            if host.ip not in (caller, callee):
+                runtime.network.set_host_down(host.ip)
+        monkeypatch.setattr(runtime, "_rtt_between", lambda a, b: None)
+        runtime.run()
+        assert media.outcome == "dropped"
+        assert media.ends_ms == scheduled_end
+        last = media.outage_windows[-1]
+        assert last.end_ms == scheduled_end
+        assert media.impact is not None
+        assert media.impact.interruption_ms > 0
+        assert media.impact.mos_dip > 0
+
     def test_fault_free_media_session_clean(self, scenario):
         config = ASAPConfig(k_hops=derive_k_hops(scenario.matrices))
         runtime = ASAPRuntime(scenario, config)
