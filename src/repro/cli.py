@@ -8,7 +8,15 @@ Commands mirror the paper's workflow:
 - ``section5``   the 14-session Skype study (Tables 1-2, Figs. 6-7);
 - ``section7``   ASAP vs baselines on latent sessions (Figs. 11-16, 18);
 - ``scalability``the two-population experiment (Fig. 17);
-- ``call``       one ASAP call on the worst direct pair, verbosely.
+- ``call``       one ASAP call on the worst direct pair, verbosely;
+- ``trace``      a traced chaos + Skype-baseline run, rendered as
+                 per-call timelines and the L1-L4 limits report.
+
+Every subcommand is registered through :func:`_subcommand`, the single
+place the uniform flags (``--scale``/``--seed``/``--workers``/
+``--cache-dir``/``--obs-dir``/``--log-level``/``--trace``) are wired —
+a new subcommand cannot drift from the shared interface, and the CLI
+tests enumerate the registered parsers to enforce it.
 """
 
 from __future__ import annotations
@@ -44,6 +52,23 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--log-level", choices=obs.LOG_LEVELS, default="info",
                         help="event level written to events.jsonl "
                              "(default: info; requires --obs-dir)")
+    parser.add_argument("--trace", action="store_true",
+                        help="also write causal trace records to "
+                             "<obs-dir>/traces.jsonl (requires --obs-dir)")
+
+
+def _subcommand(sub, name: str, func, help_text: str) -> argparse.ArgumentParser:
+    """Register one subcommand with the uniform common flags attached.
+
+    The only sanctioned way to add a subparser: common flags are wired
+    here and nowhere else, so every present and future subcommand
+    accepts the same ``--scale``/``--seed``/``--workers``/``--cache-dir``/
+    ``--obs-dir``/``--log-level``/``--trace`` interface.
+    """
+    parser = sub.add_parser(name, help=help_text)
+    _add_common(parser)
+    parser.set_defaults(func=func)
+    return parser
 
 
 def cmd_generate(args: argparse.Namespace) -> int:
@@ -231,6 +256,119 @@ def cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_traced_failovers(limit: int = 5) -> int:
+    """Render the failover timelines captured by the active run's trace.
+
+    No-op (returns 0) unless tracing is on and writing to disk.  Reads
+    the records back from ``traces.jsonl`` rather than runtime state, so
+    what is printed is exactly what a later offline analysis would see.
+    """
+    from repro.obs import trace_analysis as ta
+
+    observer = obs.active()
+    tracer = observer.trace if observer is not None else None
+    if tracer is None or tracer.path is None:
+        return 0
+    tracer.flush()
+    trees = ta.build_trees(obs.load_trace_file(tracer.path))
+    faults = ta.fault_links(trees)
+    interesting = [
+        tree
+        for tree in trees.values()
+        if tree.root is not None
+        and tree.root.name == "call"
+        and (tree.root.find("media.failover") or tree.root.find("media.relay_lost"))
+    ]
+    if not interesting:
+        return 0
+    print(f"traced failover timelines ({len(interesting)} calls):")
+    for tree in interesting[:limit]:
+        for line in ta.render_timeline(tree, faults):
+            print("  " + line)
+    if len(interesting) > limit:
+        print(f"  ... {len(interesting) - limit} more traced calls with failovers")
+    return len(interesting)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.evaluation.chaos import run_chaos
+    from repro.evaluation.report import render_kv_table
+    from repro.evaluation.sessions import generate_workload
+    from repro.faults import FaultScheduleConfig
+    from repro.obs import trace_analysis as ta
+    from repro.skype.session import run_skype_session
+
+    scenario = _build_from_args(args)
+    fault_config = FaultScheduleConfig(
+        seed=args.fault_seed,
+        duration_ms=args.duration_ms,
+        surrogate_crash_rate_per_min=args.crash_rate,
+        host_churn_rate_per_min=args.churn_rate,
+    )
+    run_chaos(
+        scenario,
+        fault_config,
+        sessions=args.sessions,
+        joins=args.joins,
+        media_duration_ms=args.media_ms,
+        seed=args.seed,
+        latent_target=args.sessions,
+    )
+    # The Skype-like baseline runs the same workload pairs (latent ones
+    # first — those are the calls where relay choice matters).
+    workload = generate_workload(
+        scenario, max(args.sessions, 1), seed=args.seed, latent_target=args.sessions
+    )
+    pairs = (workload.latent() + workload.sessions)[: args.skype_sessions]
+    for index, session in enumerate(pairs):
+        run_skype_session(
+            scenario,
+            session.caller,
+            session.callee,
+            duration_ms=args.skype_ms,
+            session_id=index,
+        )
+
+    observer = obs.active()
+    tracer = observer.trace if observer is not None else None
+    if tracer is None or tracer.path is None:
+        print("error: the trace command needs an active traced run", file=sys.stderr)
+        return 2
+    tracer.flush()
+    # Everything below is derived purely from the trace file on disk —
+    # never from live runtime state — so the same report reproduces
+    # offline from traces.jsonl alone.
+    records = obs.load_trace_file(tracer.path)
+    trees = ta.build_trees(records)
+    calls = ta.analyze_calls(trees)
+    skypes = ta.analyze_skype_calls(trees)
+    faults = ta.fault_links(trees)
+
+    call_trees = [
+        tree for tree in trees.values()
+        if tree.root is not None and tree.root.name == "call"
+    ]
+
+    def interest(tree) -> int:
+        return (
+            len(tree.root.find("media.failover"))
+            + len(tree.root.find("media.relay_lost"))
+            + len(faults.get(tree.trace_id, ()))
+        )
+
+    call_trees.sort(key=lambda tree: (-interest(tree), tree.trace_id))
+    for tree in call_trees[: args.timelines]:
+        print()
+        for line in ta.render_timeline(tree, faults):
+            print(line)
+
+    report = ta.limits_report(calls, skypes)
+    print()
+    print(render_kv_table("Skype limits, ASAP vs Skype-like baseline:", report.rows()))
+    print(f"trace records: {len(records)} in {tracer.path}")
+    return 0
+
+
 def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.evaluation.chaos import run_chaos, sweep_chaos
     from repro.evaluation.report import render_kv_table
@@ -250,6 +388,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         joins=args.joins,
         media_duration_ms=args.media_ms,
         seed=args.seed,
+        latent_target=args.latent,
     )
     if args.sweep:
         intensities = tuple(float(x) for x in args.sweep.split(","))
@@ -266,6 +405,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     if args.json:
         Path(args.json).write_text(final.to_json() + "\n")
         print(f"wrote chaos summary to {args.json}")
+    _print_traced_failovers()
     return 0
 
 
@@ -293,54 +433,74 @@ def make_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("generate", help="export scenario artifacts to a directory")
-    _add_common(p)
+    p = _subcommand(sub, "generate", cmd_generate,
+                    "export scenario artifacts to a directory")
     p.add_argument("--output", required=True, help="output directory")
-    p.set_defaults(func=cmd_generate)
 
-    p = sub.add_parser("section3", help="measurement foundation (Figs. 2-3)")
-    _add_common(p)
+    p = _subcommand(sub, "section3", cmd_section3,
+                    "measurement foundation (Figs. 2-3)")
     p.add_argument("--sessions", type=int, default=2000)
-    p.set_defaults(func=cmd_section3)
 
-    p = sub.add_parser("section5", help="Skype study (Tables 1-2, Figs. 6-7)")
-    _add_common(p)
-    p.set_defaults(func=cmd_section5)
+    _subcommand(sub, "section5", cmd_section5,
+                "Skype study (Tables 1-2, Figs. 6-7)")
 
-    p = sub.add_parser("section7", help="ASAP vs baselines (Figs. 11-16, 18)")
-    _add_common(p)
+    p = _subcommand(sub, "section7", cmd_section7,
+                    "ASAP vs baselines (Figs. 11-16, 18)")
     p.add_argument("--sessions", type=int, default=2000)
     p.add_argument("--latent", type=int, default=60)
     p.add_argument("--records", help="write per-session records CSV here")
-    p.set_defaults(func=cmd_section7)
 
-    p = sub.add_parser("scalability", help="two-population experiment (Fig. 17)")
-    _add_common(p)
+    p = _subcommand(sub, "scalability", cmd_scalability,
+                    "two-population experiment (Fig. 17)")
     p.add_argument("--sessions", type=int, default=1500)
     p.add_argument("--latent", type=int, default=40)
-    p.set_defaults(func=cmd_scalability)
 
-    p = sub.add_parser("call", help="run one ASAP call on the worst direct pair")
-    _add_common(p)
-    p.set_defaults(func=cmd_call)
+    _subcommand(sub, "call", cmd_call,
+                "run one ASAP call on the worst direct pair")
 
-    p = sub.add_parser("figures", help="export every figure's raw data as CSV")
-    _add_common(p)
+    p = _subcommand(sub, "figures", cmd_figures,
+                    "export every figure's raw data as CSV")
     p.add_argument("--output", required=True, help="output directory")
     p.add_argument("--sessions", type=int, default=1500)
     p.add_argument("--latent", type=int, default=40)
-    p.set_defaults(func=cmd_figures)
 
-    p = sub.add_parser("limits", help="detect the four Skype limits at scale")
-    _add_common(p)
+    p = _subcommand(sub, "limits", cmd_limits,
+                    "detect the four Skype limits at scale")
     p.add_argument("--sessions", type=int, default=20)
-    p.set_defaults(func=cmd_limits)
 
-    p = sub.add_parser("chaos", help="runtime under injected faults (timeouts, "
-                                     "retries, relay failover)")
-    _add_common(p)
+    p = _subcommand(sub, "trace", cmd_trace,
+                    "traced chaos + Skype-baseline run: per-call timelines "
+                    "and the L1-L4 limits report from traces.jsonl")
+    p.add_argument("--output", required=True,
+                   help="directory for traces.jsonl and the run manifest")
+    p.add_argument("--sessions", type=int, default=8, help="ASAP calls to place")
+    p.add_argument("--joins", type=int, default=10, help="hosts that join")
+    p.add_argument("--skype-sessions", type=int, default=4,
+                   help="Skype-like baseline sessions to trace")
+    p.add_argument("--duration-ms", type=float, default=60_000.0,
+                   help="fault schedule window (simulated ms)")
+    p.add_argument("--media-ms", type=float, default=20_000.0,
+                   help="voice duration per completed call (simulated ms)")
+    p.add_argument("--skype-ms", type=float, default=120_000.0,
+                   help="duration of each Skype-like session (simulated ms)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed of the fault schedule (independent of --seed)")
+    p.add_argument("--crash-rate", type=float, default=4.0,
+                   help="surrogate crashes per simulated minute")
+    p.add_argument("--churn-rate", type=float, default=0.0,
+                   help="host departures per simulated minute")
+    p.add_argument("--timelines", type=int, default=3,
+                   help="full per-call timelines to print")
+    p.set_defaults(trace=True)
+
+    p = _subcommand(sub, "chaos", cmd_chaos,
+                    "runtime under injected faults (timeouts, retries, "
+                    "relay failover)")
     p.add_argument("--sessions", type=int, default=40, help="calls to place")
     p.add_argument("--joins", type=int, default=40, help="hosts that join")
+    p.add_argument("--latent", type=int, default=None, metavar="N",
+                   help="prefer latent (relay-needing) sessions: keep "
+                        "generating until N exist and place those first")
     p.add_argument("--duration-ms", type=float, default=60_000.0,
                    help="fault schedule window (simulated ms)")
     p.add_argument("--media-ms", type=float, default=10_000.0,
@@ -362,13 +522,11 @@ def make_parser() -> argparse.ArgumentParser:
                    help="write the byte-stable fault log (JSON lines) here")
     p.add_argument("--json", metavar="PATH",
                    help="write the chaos summary document (JSON) here")
-    p.set_defaults(func=cmd_chaos)
 
-    p = sub.add_parser("robustness", help="headline metrics across seeds")
-    _add_common(p)
+    p = _subcommand(sub, "robustness", cmd_robustness,
+                    "headline metrics across seeds")
     p.add_argument("--worlds", type=int, default=3)
     p.add_argument("--sessions", type=int, default=1200)
-    p.set_defaults(func=cmd_robustness)
 
     return parser
 
@@ -377,6 +535,14 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = make_parser()
     args = parser.parse_args(argv)
     obs_dir = getattr(args, "obs_dir", None)
+    trace = bool(getattr(args, "trace", False))
+    if obs_dir is None and trace:
+        # The trace subcommand keeps traces.jsonl beside its --output
+        # artifacts unless an explicit --obs-dir redirects them.
+        obs_dir = getattr(args, "output", None)
+    if trace and obs_dir is None:
+        print("error: --trace requires --obs-dir", file=sys.stderr)
+        return 2
     if obs_dir is None:
         return args.func(args)
     obs.start_run(
@@ -384,6 +550,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         command=args.command,
         argv=list(sys.argv[1:] if argv is None else argv),
         log_level=getattr(args, "log_level", "info"),
+        trace=trace,
     )
     obs.annotate(scale=getattr(args, "scale", None), seed=getattr(args, "seed", None))
     try:

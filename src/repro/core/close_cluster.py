@@ -45,6 +45,9 @@ class CloseClusterSet:
     entries: Dict[int, CloseClusterEntry] = field(default_factory=dict)
     probe_messages: int = 0       # maintenance traffic spent building it
     ases_visited: int = 0
+    #: Probe messages split by the AS whose clusters were probed — the
+    #: trace layer's L2/L4 attribution (which AS absorbed the probing).
+    probes_by_as: Dict[int, int] = field(default_factory=dict)
 
     def __contains__(self, cluster: int) -> bool:
         return cluster in self.entries
@@ -93,7 +96,7 @@ def construct_close_cluster_set(
         if cluster == own_cluster:
             result.entries[cluster] = CloseClusterEntry(cluster, 0.0, 0.0, 0)
             continue
-        measured = _probe(result, own_cluster, cluster, lat, loss)
+        measured = _probe(result, own_cluster, cluster, own_as, lat, loss)
         if measured is not None:
             rtt, lost = measured
             if rtt < config.lat_threshold_ms and lost < config.loss_threshold:
@@ -130,6 +133,25 @@ def construct_close_cluster_set(
     obs.counter("close_set.probe_messages").inc(result.probe_messages)
     obs.histogram("close_set.size").observe(len(result))
     obs.histogram("close_set.ases_visited").observe(result.ases_visited)
+    tracer = obs.tracer()
+    if tracer:
+        # Builds run analytically (zero simulated time), so the span is
+        # instantaneous; it nests under whatever selection scope is
+        # ambient, or starts its own trace for standalone/prebuilds.
+        now = tracer.now()
+        parent = tracer.active
+        build = (
+            parent.child("close_set.build", now, owner=own_cluster, asn=own_as)
+            if parent
+            else tracer.begin("close_set.build", now, owner=own_cluster, asn=own_as)
+        )
+        build.end(
+            now,
+            size=len(result),
+            probe_messages=result.probe_messages,
+            ases_visited=result.ases_visited,
+            probes_by_as={str(k): v for k, v in sorted(result.probes_by_as.items())},
+        )
     return result
 
 
@@ -154,7 +176,7 @@ def _visit_as(
         return True
     any_passed = False
     for cluster in clusters:
-        measured = _probe(result, own_cluster, cluster, lat, loss)
+        measured = _probe(result, own_cluster, cluster, asn, lat, loss)
         if measured is None:
             continue
         rtt, lost = measured
@@ -169,11 +191,13 @@ def _probe(
     result: CloseClusterSet,
     own_cluster: int,
     other: int,
+    asn: int,
     lat: LatencyProbe,
     loss: LossProbe,
 ) -> Optional[Tuple[float, float]]:
     """One surrogate-to-surrogate measurement (request + response)."""
     result.probe_messages += 2
+    result.probes_by_as[asn] = result.probes_by_as.get(asn, 0) + 2
     rtt = lat(own_cluster, other)
     lost = loss(own_cluster, other)
     if rtt is None or lost is None:

@@ -53,6 +53,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 import numpy as np
 
 from repro import obs
+from repro.obs.trace import NULL_TRACE_SPAN
 from repro.core.config import ASAPConfig
 from repro.core.protocol import ASAPSession, ASAPSystem
 from repro.errors import ConfigurationError, ProtocolError
@@ -63,6 +64,14 @@ from repro.sim.network import SimNetwork
 from repro.topology.population import Host, NodalInfo
 from repro.voip.outage import OutageImpact, OutageWindow, account_outages
 from repro.voip.quality import mos_of_path
+
+
+def _finite(value) -> Optional[float]:
+    """A trace-attr-safe float: rounded, or None when not finite."""
+    if value is None:
+        return None
+    value = float(value)
+    return round(value, 3) if np.isfinite(value) else None
 
 
 @dataclass(frozen=True, kw_only=True)
@@ -120,6 +129,8 @@ class JoinRecord:
     outcome: str = "pending"          # pending | completed | failed
     failure_reason: Optional[str] = None
     attempts: int = 0
+    #: The join's root trace span (the shared no-op when tracing is off).
+    trace: object = field(default=NULL_TRACE_SPAN, repr=False, compare=False)
 
     @property
     def duration_ms(self) -> Optional[float]:
@@ -151,6 +162,8 @@ class CallSetupRecord:
     retries: int = 0                  # close-set retries to backup surrogates
     relay_cluster: Optional[int] = None
     relay_ip: Optional[IPv4Address] = None
+    #: The call's root trace span (the shared no-op when tracing is off).
+    trace: object = field(default=NULL_TRACE_SPAN, repr=False, compare=False)
 
     @property
     def setup_ms(self) -> Optional[float]:
@@ -214,6 +227,11 @@ class MediaSessionRecord:
     dead_relays: Set[IPv4Address] = field(default_factory=set, repr=False)
     #: Failover candidates as (relay_rtt_ms, cluster), best first.
     candidates: List[Tuple[float, int]] = field(default_factory=list, repr=False)
+    #: The media span and the owning call's root span (no-ops when off);
+    #: the root is closed here because media outlives the setup record's
+    #: terminal transition.
+    trace: object = field(default=NULL_TRACE_SPAN, repr=False, compare=False)
+    call_trace: object = field(default=NULL_TRACE_SPAN, repr=False, compare=False)
 
     @property
     def interruption_ms_total(self) -> float:
@@ -348,6 +366,12 @@ class ASAPRuntime:
 
         def start() -> None:
             record.started_ms = self.sim.now_ms
+            tracer = obs.tracer()
+            if tracer:
+                tracer.clock = lambda: self.sim.now_ms
+                record.trace = tracer.begin(
+                    "join", self.sim.now_ms, ip=str(ip), asn=host.asn
+                )
             self._try_join(record, host, attempt=0)
 
         self.sim.schedule_at(at_ms, start)
@@ -370,10 +394,12 @@ class ASAPRuntime:
             rtt_ms=rtt,
             on_response=lambda: self._join_response(record, host),
             on_timeout=lambda: self._join_retry(record, host, attempt),
+            trace=record.trace,
         )
 
     def _join_retry(self, record: JoinRecord, host: Host, attempt: int) -> None:
         obs.counter("runtime.join_retries").inc()
+        record.trace.point("join.retry", self.sim.now_ms, attempt=attempt + 1)
         if attempt + 1 >= self._policy.max_join_attempts:
             self._join_failed(record, "join-timeout")
             return
@@ -387,6 +413,7 @@ class ASAPRuntime:
         record.failure_reason = reason
         obs.counter("runtime.joins_failed").inc()
         obs.event("join.failed", level="debug", ip=str(record.ip), reason=reason)
+        record.trace.end(self.sim.now_ms, outcome="failed", reason=reason)
 
     def _join_response(self, record: JoinRecord, host: Host) -> None:
         endhost = self._system.join(host.ip)
@@ -394,7 +421,7 @@ class ASAPRuntime:
             self._system.cluster_of_ip(host.ip), requester=host.ip
         )
         surrogate_host = self._ensure_registered(surrogate.ip) if surrogate.ip in self._scenario.population else surrogate.host
-        self.network.send(host, surrogate.ip, "publish-nodal-info")
+        self.network.send(host, surrogate.ip, "publish-nodal-info", trace=record.trace)
         publish_rtt = self._rtt_between(host, surrogate_host)
         delay = (publish_rtt / 2.0) if publish_rtt is not None else 0.0
         self.sim.schedule(delay, lambda: self._join_done(record))
@@ -403,6 +430,7 @@ class ASAPRuntime:
         record.completed_ms = self.sim.now_ms
         record.outcome = "completed"
         obs.counter("runtime.joins").inc()
+        record.trace.end(self.sim.now_ms, outcome="completed")
 
     # -- call setup flow -------------------------------------------------------
 
@@ -427,6 +455,17 @@ class ASAPRuntime:
 
         def start() -> None:
             record.started_ms = self.sim.now_ms
+            tracer = obs.tracer()
+            if tracer:
+                tracer.clock = lambda: self.sim.now_ms
+                record.trace = tracer.begin(
+                    "call",
+                    self.sim.now_ms,
+                    caller=str(caller_ip),
+                    callee=str(callee_ip),
+                    caller_as=caller.asn,
+                    callee_as=callee.asn,
+                )
             self._try_ping(record, caller, callee, 0, on_complete, media_duration_ms)
 
         self.sim.schedule_at(at_ms, start)
@@ -446,18 +485,29 @@ class ASAPRuntime:
             self._setup_failed(record, "callee-unreachable", on_complete)
             return
         record.attempts += 1
+        ping = record.trace.child(
+            "setup.ping", self.sim.now_ms, attempt=attempt + 1
+        )
+
+        def responded() -> None:
+            ping.end(self.sim.now_ms, outcome="ok", rtt_ms=round(ping_rtt, 3))
+            self._after_ping(record, caller, callee, on_complete, media_duration_ms)
+
+        def timed_out() -> None:
+            ping.end(self.sim.now_ms, outcome="timeout")
+            self._ping_retry(
+                record, caller, callee, attempt, on_complete, media_duration_ms
+            )
+
         self.network.request(
             caller,
             callee.ip,
             "ping",
             timeout_ms=self._policy.ping_timeout_ms,
             rtt_ms=ping_rtt,
-            on_response=lambda: self._after_ping(
-                record, caller, callee, on_complete, media_duration_ms
-            ),
-            on_timeout=lambda: self._ping_retry(
-                record, caller, callee, attempt, on_complete, media_duration_ms
-            ),
+            on_response=responded,
+            on_timeout=timed_out,
+            trace=ping,
         )
 
     def _ping_retry(
@@ -477,7 +527,18 @@ class ASAPRuntime:
     def _after_ping(
         self, record, caller: Host, callee: Host, on_complete, media_duration_ms
     ) -> None:
-        session = self._system.call(caller.ip, callee.ip)
+        select = record.trace.child("setup.select", self.sim.now_ms)
+        with obs.tracer().scope(select):
+            session = self._system.call(caller.ip, callee.ip)
+        selection = session.selection
+        select.end(
+            self.sim.now_ms,
+            relay_needed=session.relay_needed,
+            direct_rtt_ms=_finite(session.direct_rtt_ms),
+            one_hop=len(selection.one_hop) if selection is not None else 0,
+            two_hop=len(selection.two_hop) if selection is not None else 0,
+            messages=selection.messages if selection is not None else 0,
+        )
         record.session = session
         if not session.relay_needed:
             self._setup_complete(record, "completed", on_complete, media_duration_ms)
@@ -516,7 +577,7 @@ class ASAPRuntime:
         self._ensure_registered(surrogate.ip)
         rtt = self._rtt_between(caller, surrogate.host)
         if rtt is None:
-            self.network.send(caller, surrogate.ip, "close-set-request")
+            self.network.send(caller, surrogate.ip, "close-set-request", trace=record.trace)
             self._leg_done(record, state, "own", caller, callee, on_complete, media_duration_ms)
             return
         if attempt > 0:
@@ -524,8 +585,22 @@ class ASAPRuntime:
             obs.counter("runtime.close_set_retries").inc()
         else:
             state.own_rtt_ms = rtt
+        leg = record.trace.child(
+            "setup.close_set",
+            self.sim.now_ms,
+            leg="own",
+            attempt=attempt + 1,
+            surrogate=str(surrogate.ip),
+        )
+
+        def responded() -> None:
+            leg.end(self.sim.now_ms, outcome="ok", rtt_ms=round(rtt, 3))
+            self._leg_done(
+                record, state, "own", caller, callee, on_complete, media_duration_ms
+            )
 
         def timed_out() -> None:
+            leg.end(self.sim.now_ms, outcome="timeout")
             state.perturbed = True
             self._request_own_close_set(
                 record, state, caller, callee, attempt + 1, on_complete, media_duration_ms
@@ -537,10 +612,9 @@ class ASAPRuntime:
             "close-set-request",
             timeout_ms=self._policy.close_set_timeout_ms,
             rtt_ms=rtt,
-            on_response=lambda: self._leg_done(
-                record, state, "own", caller, callee, on_complete, media_duration_ms
-            ),
+            on_response=responded,
             on_timeout=timed_out,
+            trace=leg,
         )
 
     def _request_peer_close_set(
@@ -558,7 +632,7 @@ class ASAPRuntime:
         if peer_leg is None:
             # Callee vanished from the routing fabric after the ping —
             # only possible structurally, so no retry value.
-            self.network.send(caller, callee.ip, "close-set-request")
+            self.network.send(caller, callee.ip, "close-set-request", trace=record.trace)
             self._leg_done(record, state, "peer", caller, callee, on_complete, media_duration_ms)
             return
         combined = peer_leg + (callee_leg if callee_leg is not None else 0.0)
@@ -567,8 +641,22 @@ class ASAPRuntime:
             obs.counter("runtime.close_set_retries").inc()
         else:
             state.peer_rtt_ms = combined
+        leg = record.trace.child(
+            "setup.close_set",
+            self.sim.now_ms,
+            leg="peer",
+            attempt=attempt + 1,
+            surrogate=str(surrogate.ip),
+        )
+
+        def responded() -> None:
+            leg.end(self.sim.now_ms, outcome="ok", rtt_ms=round(combined, 3))
+            self._leg_done(
+                record, state, "peer", caller, callee, on_complete, media_duration_ms
+            )
 
         def timed_out() -> None:
+            leg.end(self.sim.now_ms, outcome="timeout")
             state.perturbed = True
             self._request_peer_close_set(
                 record, state, caller, callee, attempt + 1, on_complete, media_duration_ms
@@ -580,10 +668,9 @@ class ASAPRuntime:
             "close-set-request",
             timeout_ms=self._policy.close_set_timeout_ms,
             rtt_ms=combined,
-            on_response=lambda: self._leg_done(
-                record, state, "peer", caller, callee, on_complete, media_duration_ms
-            ),
+            on_response=responded,
             on_timeout=timed_out,
+            trace=leg,
         )
 
     def _leg_done(
@@ -616,28 +703,41 @@ class ASAPRuntime:
             if state.two_hop_pending == 0:
                 self._finalize_setup(record, state, on_complete, media_duration_ms)
 
-        def one_timed_out() -> None:
-            state.perturbed = True
-            one_resolved()
-
         if selection is not None and selection.two_hop_queries > 0:
             for candidate in selection.one_hop[: selection.two_hop_queries]:
                 surrogate = self._system.surrogate(candidate.cluster, requester=caller.ip)
                 self._ensure_registered(surrogate.ip)
                 rtt = self._rtt_between(caller, surrogate.host)
                 if rtt is None:
-                    self.network.send(caller, surrogate.ip, "close-set-request")
+                    self.network.send(caller, surrogate.ip, "close-set-request", trace=record.trace)
                     continue
                 state.two_hop_ms = max(state.two_hop_ms, rtt)
                 state.two_hop_pending += 1
+                query = record.trace.child(
+                    "setup.two_hop",
+                    self.sim.now_ms,
+                    cluster=candidate.cluster,
+                    surrogate=str(surrogate.ip),
+                )
+
+                def resolved(query=query, rtt=rtt) -> None:
+                    query.end(self.sim.now_ms, outcome="ok", rtt_ms=round(rtt, 3))
+                    one_resolved()
+
+                def timed_out(query=query) -> None:
+                    query.end(self.sim.now_ms, outcome="timeout")
+                    state.perturbed = True
+                    one_resolved()
+
                 self.network.request(
                     caller,
                     surrogate.ip,
                     "close-set-request",
                     timeout_ms=self._policy.two_hop_timeout_ms,
                     rtt_ms=rtt,
-                    on_response=one_resolved,
-                    on_timeout=one_timed_out,
+                    on_response=resolved,
+                    on_timeout=timed_out,
+                    trace=query,
                 )
         if state.two_hop_pending == 0:
             self._finalize_setup(record, state, on_complete, media_duration_ms)
@@ -646,6 +746,19 @@ class ASAPRuntime:
         completed_ms = None if state.perturbed else state.analytic_completed_ms
         selection = record.session.selection
         relay = self._pick_relay(record.session)
+        if record.trace:
+            best = selection.best_rtt_ms() if selection is not None else None
+            record.trace.point(
+                "setup.relay_pick",
+                self.sim.now_ms,
+                relay=str(relay[1]) if relay is not None else None,
+                cluster=relay[0] if relay is not None else None,
+                chosen_rtt_ms=_finite(
+                    record.session.best_path_rtt_ms if relay is not None else None
+                ),
+                best_candidate_rtt_ms=_finite(best),
+                direct_rtt_ms=_finite(record.session.direct_rtt_ms),
+            )
         if relay is not None:
             record.relay_cluster, record.relay_ip = relay
             self._setup_complete(
@@ -713,10 +826,22 @@ class ASAPRuntime:
             obs.counter("runtime.call_setups_degraded").inc()
         if record.setup_ms is not None:
             obs.histogram("runtime.call_setup_ms").observe(record.setup_ms)
+        record.trace.point(
+            "setup.done",
+            self.sim.now_ms,
+            outcome=outcome,
+            reason=reason,
+            setup_ms=_finite(record.setup_ms),
+            path=record.path,
+            relay=str(record.relay_ip) if record.relay_ip is not None else None,
+        )
         if on_complete is not None:
             on_complete(record)
         if media_duration_ms is not None:
             self._start_media(record, media_duration_ms)
+        else:
+            # No media rides this setup: the call's trace ends with it.
+            record.trace.end(self.sim.now_ms, outcome=outcome)
 
     def _setup_failed(self, record, reason: str, on_complete) -> None:
         record.outcome = "failed"
@@ -729,6 +854,7 @@ class ASAPRuntime:
             callee=str(record.callee),
             reason=reason,
         )
+        record.trace.end(self.sim.now_ms, outcome="failed", reason=reason)
         if on_complete is not None:
             on_complete(record)
 
@@ -750,6 +876,14 @@ class ASAPRuntime:
         )
         if session is not None:
             media.candidates = self._relay_candidate_clusters(session)
+        media.call_trace = record.trace
+        media.trace = record.trace.child(
+            "media",
+            self.sim.now_ms,
+            path=record.path,
+            relay=str(media.relay_ip) if media.relay_ip is not None else None,
+            cluster=media.relay_cluster,
+        )
         self.media_sessions.append(media)
         obs.counter("runtime.media_sessions").inc()
         if media.relay_ip is not None:
@@ -777,6 +911,7 @@ class ASAPRuntime:
             rtt_ms=rtt,
             on_response=lambda: self._keepalive_ok(media, record, sent_at),
             on_timeout=lambda: self._relay_lost(media, record, sent_at),
+            trace=media.trace,
         )
 
     def _keepalive_ok(self, media, record, sent_at: float) -> None:
@@ -796,6 +931,7 @@ class ASAPRuntime:
         dead = media.relay_ip
         media.dead_relays.add(dead)
         detected = self.sim.now_ms
+        media.trace.point("media.relay_lost", detected, relay=str(dead))
         self._failover(media, record, dead, sent_at, detected)
 
     def _failover(self, media, record, old_relay, outage_start, detected) -> None:
@@ -823,6 +959,7 @@ class ASAPRuntime:
             on_timeout=lambda: self._failover_candidate_dead(
                 media, record, old_relay, ip, outage_start, detected
             ),
+            trace=media.trace,
         )
 
     def _failover_candidate_dead(
@@ -831,6 +968,9 @@ class ASAPRuntime:
         if media.outcome != "active":
             return
         media.dead_relays.add(ip)
+        media.trace.point(
+            "media.failover_candidate_dead", self.sim.now_ms, candidate=str(ip)
+        )
         self._failover(media, record, old_relay, outage_start, detected)
 
     def _failover_done(
@@ -853,6 +993,16 @@ class ASAPRuntime:
         obs.counter("runtime.failovers").inc()
         obs.histogram("runtime.failover_ms").observe(event.failover_ms)
         obs.histogram("runtime.interruption_ms").observe(event.interruption_ms)
+        media.trace.point(
+            "media.failover",
+            restored,
+            old_relay=str(old_relay),
+            new_relay=str(ip),
+            cluster=cluster,
+            detected_ms=round(detected, 3),
+            failover_ms=round(event.failover_ms, 3),
+            interruption_ms=round(event.interruption_ms, 3),
+        )
         next_at = restored + self._policy.keepalive_interval_ms
         if next_at < media.ends_ms:
             self.sim.schedule_at(next_at, lambda: self._keepalive(media, record))
@@ -878,6 +1028,13 @@ class ASAPRuntime:
             media.relay_ip = None
             media.relay_cluster = None
             obs.counter("runtime.media_degraded").inc()
+            media.trace.point(
+                "media.degraded",
+                restored,
+                old_relay=str(old_relay),
+                detected_ms=round(detected, 3),
+                interruption_ms=round(event.interruption_ms, 3),
+            )
             return
         # Nothing carries the call: it drops here.  The call is still
         # scored over its scheduled duration, with the undelivered tail
@@ -885,6 +1042,12 @@ class ASAPRuntime:
         media.outage_windows.append(OutageWindow(start_ms=outage_start, end_ms=media.ends_ms))
         media.outcome = "dropped"
         obs.counter("runtime.media_dropped").inc()
+        media.trace.point(
+            "media.dropped",
+            restored,
+            old_relay=str(old_relay),
+            detected_ms=round(detected, 3),
+        )
         self._score_media(media)
 
     def _finish_media(self, media: MediaSessionRecord) -> None:
@@ -916,6 +1079,17 @@ class ASAPRuntime:
             windows=windows,
         )
         obs.histogram("runtime.media_mos_dip").observe(media.impact.mos_dip)
+        now = self.sim.now_ms
+        media.trace.end(
+            now,
+            outcome=media.outcome,
+            keepalives=media.keepalives,
+            failovers=len(media.failovers),
+            degraded_to_direct=media.degraded_to_direct,
+            interruption_ms=round(media.interruption_ms_total, 3),
+            mos_dip=round(media.impact.mos_dip, 6),
+        )
+        media.call_trace.end(now, outcome=media.outcome)
 
     # -- churn --------------------------------------------------------------------
 

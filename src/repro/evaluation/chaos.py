@@ -138,13 +138,18 @@ def run_chaos(
     seed: int = 0,
     asap_config: Optional[ASAPConfig] = None,
     policy: Optional[RuntimePolicy] = None,
+    latent_target: Optional[int] = None,
 ) -> ChaosResult:
     """Drive a workload through a runtime under an injected fault schedule.
 
     Joins and call starts are spread deterministically over the first
     80% of the schedule window so faults actually overlap live protocol
-    activity.  Raises :class:`EvaluationError` if any record fails to
-    reach a terminal outcome — the no-hang invariant chaos CI enforces.
+    activity.  With ``latent_target``, workload generation keeps going
+    until that many latent sessions exist and those are placed first —
+    relayed calls are the ones whose failover behaviour chaos (and its
+    traces) are meant to exercise.  Raises :class:`EvaluationError` if
+    any record fails to reach a terminal outcome — the no-hang
+    invariant chaos CI enforces.
     """
     runtime = ASAPRuntime(scenario, asap_config, policy)
     schedule = compile_schedule(fault_config, scenario)
@@ -153,7 +158,14 @@ def run_chaos(
 
     window = fault_config.duration_ms * 0.8
     rng = derive_rng(seed, "chaos", "workload-times")
-    workload = generate_workload(scenario, max(sessions, 1), seed=seed)
+    workload = generate_workload(
+        scenario, max(sessions, 1), seed=seed, latent_target=latent_target
+    )
+    pool = workload.sessions
+    if latent_target:
+        latent = workload.latent()
+        latent_ids = {s.session_id for s in latent}
+        pool = latent + [s for s in pool if s.session_id not in latent_ids]
 
     hosts = scenario.population.hosts
     join_times = sorted(
@@ -166,9 +178,9 @@ def run_chaos(
 
         call_times = sorted(
             round(float(t), 3)
-            for t in rng.uniform(0.0, window, size=len(workload.sessions[:sessions]))
+            for t in rng.uniform(0.0, window, size=len(pool[:sessions]))
         )
-        for at, session in zip(call_times, workload.sessions[:sessions]):
+        for at, session in zip(call_times, pool[:sessions]):
             runtime.schedule_call(
                 session.caller,
                 session.callee,

@@ -80,6 +80,12 @@ class FaultInjector:
 
     def _applier(self, event: FaultEvent):
         def apply() -> None:
+            tracer = obs.tracer()
+            # Blast radius resolves *before* application (a crashed
+            # surrogate's identity is gone from system state afterwards).
+            scope_ips, scope_asns = (
+                self._fault_scope(event) if tracer else (set(), set())
+            )
             outcome, detail = self._apply(event)
             self.log.append(
                 FaultLogEntry(
@@ -92,9 +98,86 @@ class FaultInjector:
             )
             obs.counter("faults.injected").inc()
             obs.counter(f"faults.{event.kind}").inc()
-            obs.event("fault", level="debug", kind=event.kind, target=event.target)
+            # ``kind`` would collide with the sink's own record-kind field.
+            obs.event(
+                "fault", level="debug", fault_kind=event.kind, target=event.target
+            )
+            if tracer:
+                now = self._runtime.sim.now_ms
+                span = tracer.begin(
+                    "fault", now, kind=event.kind, target=event.target
+                )
+                span.end(
+                    now,
+                    outcome=outcome,
+                    detail=detail,
+                    disrupted=self._disrupted_traces(scope_ips, scope_asns),
+                )
 
         return apply
+
+    # -- trace linkage -----------------------------------------------------
+
+    def _fault_scope(self, event: FaultEvent):
+        """The (host ips, AS numbers) a fault directly touches."""
+        runtime = self._runtime
+        scope, _, value = event.target.partition(":")
+        ips: set = set()
+        asns: set = set()
+        kind = event.kind
+        if kind == "surrogate-crash":
+            ips.add(runtime.system.surrogate(int(value)).ip)
+        elif kind == "host-leave":
+            ips.add(IPv4Address.from_string(value))
+        elif kind in ("bootstrap-down", "bootstrap-up"):
+            bootstraps = runtime.bootstrap_hosts
+            index = int(value)
+            if index < len(bootstraps):
+                ips.add(bootstraps[index].ip)
+        elif kind in ("as-down", "as-up"):
+            asns.add(int(value))
+        elif kind in ("loss-burst-start", "loss-burst-end") and scope != "net":
+            asns.add(int(value))
+        return ips, asns
+
+    def _asn_of(self, ip: IPv4Address) -> Optional[int]:
+        host = self._runtime.network.host(ip)
+        return host.asn if host is not None else None
+
+    def _disrupted_traces(self, ips: set, asns: set) -> List[str]:
+        """Trace ids of in-flight flows inside the fault's blast radius.
+
+        Pending joins and call setups plus active media sessions whose
+        endpoints (or current relay) sit on a failed host or inside a
+        failed AS — the causal link the analyzer uses to hang fault
+        events onto the per-call timelines they disrupt.
+        """
+        runtime = self._runtime
+        disrupted: List[str] = []
+        seen: set = set()
+
+        def touch(span, *endpoints) -> None:
+            trace_id = getattr(span, "trace_id", None)
+            if trace_id is None or trace_id in seen:
+                return
+            for ip in endpoints:
+                if ip is None:
+                    continue
+                if ip in ips or (asns and self._asn_of(ip) in asns):
+                    seen.add(trace_id)
+                    disrupted.append(trace_id)
+                    return
+
+        for join in runtime.joins:
+            if join.outcome == "pending":
+                touch(join.trace, join.ip)
+        for call in runtime.call_setups:
+            if call.outcome == "pending":
+                touch(call.trace, call.caller, call.callee, call.relay_ip)
+        for media in runtime.media_sessions:
+            if media.outcome == "active":
+                touch(media.call_trace, media.caller, media.callee, media.relay_ip)
+        return disrupted
 
     def _apply(self, event: FaultEvent):
         runtime = self._runtime

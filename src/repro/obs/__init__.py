@@ -50,6 +50,16 @@ from repro.obs.manifest import (
 )
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.spans import NULL_SPAN, Span
+from repro.obs.trace import (
+    NULL_TRACE_SPAN,
+    NULL_TRACER,
+    TRACE_SCHEMA_VERSION,
+    TRACES_FILENAME,
+    Tracer,
+    TraceSpan,
+    load_trace_file,
+    validate_trace_records,
+)
 
 __all__ = [
     "Counter",
@@ -61,7 +71,13 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "MANIFEST_SCHEMA_VERSION",
     "MetricsRegistry",
+    "NULL_TRACER",
+    "NULL_TRACE_SPAN",
     "RunObserver",
+    "TRACES_FILENAME",
+    "TRACE_SCHEMA_VERSION",
+    "Tracer",
+    "TraceSpan",
     "active",
     "annotate",
     "begin_forked_child",
@@ -73,11 +89,14 @@ __all__ = [
     "gauge",
     "histogram",
     "load_manifest",
+    "load_trace_file",
     "merge_child_snapshot",
     "observe",
     "span",
     "start_run",
+    "tracer",
     "validate_manifest",
+    "validate_trace_records",
     "write_manifest",
 ]
 
@@ -100,6 +119,7 @@ class RunObserver:
         command: str = "",
         argv: Optional[List[str]] = None,
         log_level: str = "info",
+        trace: bool = False,
     ) -> None:
         self.registry = MetricsRegistry()
         self.obs_dir = Path(obs_dir) if obs_dir is not None else None
@@ -118,6 +138,15 @@ class RunObserver:
                 start_time=self.started_at,
             )
             if self.obs_dir is not None
+            else None
+        )
+        self.trace: Optional[Tracer] = (
+            Tracer(
+                self.obs_dir / TRACES_FILENAME
+                if self.obs_dir is not None
+                else None
+            )
+            if trace
             else None
         )
         if self.sink is not None:
@@ -162,6 +191,14 @@ class RunObserver:
             "histograms": snapshot["histograms"],
             "events_file": EVENTS_FILENAME if self.sink is not None else None,
             "events_written": self.sink.events_written if self.sink is not None else 0,
+            "traces_file": (
+                TRACES_FILENAME
+                if self.trace is not None and self.trace.path is not None
+                else None
+            ),
+            "traces_written": (
+                self.trace.records_written if self.trace is not None else 0
+            ),
             "annotations": {
                 k: v for k, v in sorted(self.annotations.items()) if k not in known
             },
@@ -181,6 +218,8 @@ class RunObserver:
         document = self.manifest_document()
         if self.sink is not None:
             self.sink.close()
+        if self.trace is not None:
+            self.trace.close()
         if self.obs_dir is None:
             return None
         return write_manifest(self.obs_dir / MANIFEST_FILENAME, document)
@@ -250,6 +289,19 @@ def histogram(name: str):
     )
 
 
+def tracer():
+    """The active run's causal tracer (shared falsy no-op when off).
+
+    Falsy unless the run was started with ``trace=True``, so call sites
+    guard with ``if (t := obs.tracer()):`` — or just hold the spans it
+    returns, which are themselves free no-ops when tracing is off.
+    """
+    observer = _ACTIVE
+    if observer is not None and observer.trace is not None:
+        return observer.trace
+    return NULL_TRACER
+
+
 def span(name: str, level: str = "info", **fields):
     """A timed span context manager (free no-op when off)."""
     observer = _ACTIVE
@@ -277,18 +329,21 @@ def start_run(
     command: str = "",
     argv: Optional[List[str]] = None,
     log_level: str = "info",
+    trace: bool = False,
 ) -> RunObserver:
     """Activate observability for the current process.
 
     With ``obs_dir`` set, events stream to ``<obs_dir>/events.jsonl``
     and :func:`finish_run` writes ``<obs_dir>/run_manifest.json``;
     without it, metrics still accumulate in memory (useful in tests).
+    With ``trace=True``, causal trace records additionally stream to
+    ``<obs_dir>/traces.jsonl`` (see :mod:`repro.obs.trace`).
     """
     global _ACTIVE
     if _ACTIVE is not None:
         raise RuntimeError("an observability run is already active")
     _ACTIVE = RunObserver(
-        obs_dir=obs_dir, command=command, argv=argv, log_level=log_level
+        obs_dir=obs_dir, command=command, argv=argv, log_level=log_level, trace=trace
     )
     return _ACTIVE
 
@@ -309,10 +364,11 @@ def observe(
     command: str = "",
     argv: Optional[List[str]] = None,
     log_level: str = "info",
+    trace: bool = False,
 ):
     """``start_run``/``finish_run`` as a context manager."""
     observer = start_run(
-        obs_dir=obs_dir, command=command, argv=argv, log_level=log_level
+        obs_dir=obs_dir, command=command, argv=argv, log_level=log_level, trace=trace
     )
     try:
         yield observer
@@ -328,13 +384,15 @@ def begin_forked_child() -> None:
 
     The child keeps accumulating metrics, but into a fresh registry (so
     the parent's pre-fork totals are not re-counted on merge) and with
-    the event sink detached (children must not interleave writes on the
-    parent's file handle).
+    the event sink and tracer detached (children must not interleave
+    writes on the parent's file handles, and trace ids are a parent-run
+    sequence that forked work must not race).
     """
     observer = _ACTIVE
     if observer is not None:
         observer.registry = MetricsRegistry()
         observer.sink = None
+        observer.trace = None
 
 
 def collect_forked_child() -> Optional[dict]:

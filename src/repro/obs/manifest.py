@@ -31,7 +31,9 @@ __all__ = [
 ]
 
 #: Bump when manifest semantics change; validators reject other versions.
-MANIFEST_SCHEMA_VERSION = 1
+#: v2: histogram snapshots carry p50/p95/p99 estimates; ``traces_file``
+#: and ``traces_written`` record the run's causal-trace output.
+MANIFEST_SCHEMA_VERSION = 2
 
 #: Canonical file name of a run manifest inside an observability directory.
 MANIFEST_FILENAME = "run_manifest.json"
@@ -58,8 +60,14 @@ MANIFEST_SCHEMA: Dict[str, Tuple[tuple, bool]] = {
     "histograms": ((dict,), True),
     "events_file": ((str, _NoneType), True),
     "events_written": ((int,), True),
+    "traces_file": ((str, _NoneType), True),
+    "traces_written": ((int,), True),
     "annotations": ((dict,), False),
 }
+
+#: Required members of each ``histograms`` entry (quantiles may be null
+#: on empty histograms, hence no type constraint beyond presence).
+_HISTOGRAM_FIELDS = ("count", "sum", "min", "max", "p50", "p95", "p99", "buckets")
 
 #: Required integer members of the ``cache`` sub-document.
 _CACHE_FIELDS = (
@@ -118,6 +126,15 @@ def validate_manifest(document: dict) -> List[str]:
         for key, value in counters.items():
             if not isinstance(value, int):
                 problems.append(f"counter {key!r} must be an integer")
+    histograms = document.get("histograms")
+    if isinstance(histograms, dict):
+        for key, data in histograms.items():
+            if not isinstance(data, dict):
+                problems.append(f"histogram {key!r} must be an object")
+                continue
+            for field in _HISTOGRAM_FIELDS:
+                if field not in data:
+                    problems.append(f"histogram {key!r} missing field {field!r}")
     return problems
 
 

@@ -91,6 +91,33 @@ class Histogram:
     def mean(self) -> Optional[float]:
         return self.total / self.count if self.count else None
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Linear interpolation inside the covering bucket's bounds, with
+        the result clamped to the observed ``[min, max]`` — so single
+        observations report themselves exactly and estimates can never
+        leave the observed range.  Resolution is the bucket width (a
+        factor of two), which is plenty for spotting tail blow-ups.
+        """
+        if not self.count:
+            return None
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket in enumerate(self.buckets):
+            if not bucket:
+                continue
+            if cumulative + bucket >= rank:
+                lower = 0.0 if index == 0 else _FIRST_BUCKET * 2.0 ** (index - 1)
+                upper = _FIRST_BUCKET * 2.0 ** index
+                fraction = (rank - cumulative) / bucket
+                estimate = lower + fraction * (upper - lower)
+                return min(max(estimate, self.min), self.max)
+            cumulative += bucket
+        return self.max
+
 
 def _bucket_index(value: float) -> int:
     if value <= _FIRST_BUCKET:
@@ -145,6 +172,9 @@ class MetricsRegistry:
                     "sum": h.total,
                     "min": h.min,
                     "max": h.max,
+                    "p50": h.quantile(0.50),
+                    "p95": h.quantile(0.95),
+                    "p99": h.quantile(0.99),
                     "buckets": list(h.buckets),
                 }
                 for n, h in sorted(self._histograms.items())

@@ -165,17 +165,30 @@ class SimNetwork:
         dst_ip: IPv4Address,
         category: str,
         payload: Any = None,
+        trace=None,
     ) -> bool:
         """Send a message; returns False if it was dropped immediately.
 
         Every send is counted (overhead is measured at the sender, like
         the paper counting probe traffic), but delivery requires the
-        destination to be registered, up, and reachable.
+        destination to be registered, up, and reachable.  With a live
+        ``trace`` span, the send is recorded as a ``net.send`` point on
+        it (AS-tagged, so the analyzer can attribute message overhead
+        per AS); tracing never changes delivery.
         """
         self.sent_by_category[category] += 1
         dst = self._hosts.get(dst_ip)
         rtt = self._latency.host_rtt_ms(src, dst) if dst is not None else None
         reason = self._drop_reason(src, dst_ip, rtt)
+        if trace:
+            trace.point(
+                "net.send",
+                self._sim.now_ms,
+                category=category,
+                src_as=src.asn,
+                dst_as=dst.asn if dst is not None else None,
+                dropped=reason,
+            )
         if reason is not None:
             self._record_drop(reason)
             return False
@@ -194,6 +207,7 @@ class SimNetwork:
         on_timeout: Optional[Callable[[], None]] = None,
         rtt_ms: Optional[float] = None,
         payload: Any = None,
+        trace=None,
     ) -> bool:
         """A request that expects an answer one round trip later.
 
@@ -209,7 +223,11 @@ class SimNetwork:
         response was scheduled.
 
         Fault state is evaluated at send time (the deterministic choice;
-        in-flight responses never race fault events).
+        in-flight responses never race fault events).  With a live
+        ``trace`` span a ``net.request`` child covers the exchange —
+        closed at response time on success, or spanning the full timeout
+        on failure with the drop reason — without scheduling any extra
+        simulator events.
         """
         self.sent_by_category[category] += 1
         dst = self._hosts.get(dst_ip)
@@ -222,10 +240,27 @@ class SimNetwork:
             rate = self.loss_rate_between(src, dst)
             if rate > 0.0 and self._loss_rng.random() < rate:
                 reason = "loss"
+        now = self._sim.now_ms
+        net_span = (
+            trace.child(
+                "net.request",
+                now,
+                category=category,
+                src_as=src.asn,
+                dst_as=dst.asn if dst is not None else None,
+            )
+            if trace
+            else None
+        )
         if reason is not None:
             self._record_drop(reason)
             self.timeouts_by_category[category] += 1
             obs.counter("net.timeouts").inc()
+            if net_span is not None:
+                # The caller observes silence until its timer fires; the
+                # span covers that whole wait (no extra sim event needed
+                # — the end time is known at send time).
+                net_span.end(now + timeout_ms, outcome="timeout", dropped=reason)
             if on_timeout is not None:
                 self._sim.schedule(timeout_ms, on_timeout)
             return False
@@ -234,6 +269,8 @@ class SimNetwork:
 
         def respond() -> None:
             handler(message)
+            if net_span is not None:
+                net_span.end(self._sim.now_ms, outcome="response", rtt_ms=round(rtt, 3))
             on_response()
 
         self._sim.schedule(rtt, respond)

@@ -16,6 +16,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro import obs
+from repro.obs.trace import NULL_TRACE_SPAN
 from repro.errors import MeasurementError
 from repro.measurement.latency import LatencyModel
 from repro.netaddr import IPv4Address
@@ -71,6 +73,7 @@ class _DirectionMachine:
         latency: LatencyModel,
         config: SkypeConfig,
         rng: np.random.Generator,
+        trace=NULL_TRACE_SPAN,
     ) -> None:
         self._sim = sim
         self._src = src
@@ -79,6 +82,7 @@ class _DirectionMachine:
         self._latency = latency
         self._config = config
         self._rng = rng
+        self._trace = trace
         self.probes: List[Tuple[float, IPv4Address]] = []
         self.intervals: List[_CarrierInterval] = []
         self._probed_ips: set = set()
@@ -86,6 +90,10 @@ class _DirectionMachine:
 
         direct = latency.host_rtt_ms(src, dst)
         self._current_rtt = direct if direct is not None else float("inf")
+        # The *true* path RTT of the current carrier — never consulted by
+        # the protocol (decisions ride the noisy measurements, Limit 1's
+        # mechanism); the trace layer reports it for the L1 gap.
+        self._current_true_rtt = self._current_rtt
         self.intervals.append(_CarrierInterval(0.0, None, None))
         # Skype always tests relay candidates at start-up, even when the
         # direct path is eventually kept.
@@ -125,6 +133,14 @@ class _DirectionMachine:
         self.probes.append((self._sim.now_ms, relay.ip))
         rtt = self._relay_path_rtt(relay)
         if rtt is None:
+            self._trace.point(
+                "skype.probe",
+                self._sim.now_ms,
+                relay=str(relay.ip),
+                relay_as=relay.asn,
+                path_rtt_ms=None,
+                measured_rtt_ms=None,
+            )
             return  # probe lost — relay unreachable
         # One probe = one noisy RTT sample; the client decides on the
         # measured value (Limit 1's mechanism), but the answer arrives
@@ -135,17 +151,35 @@ class _DirectionMachine:
             )
         else:
             measured = rtt
-        self._sim.schedule(rtt, lambda: self._probe_result(relay, measured))
+        self._trace.point(
+            "skype.probe",
+            self._sim.now_ms,
+            relay=str(relay.ip),
+            relay_as=relay.asn,
+            path_rtt_ms=round(rtt, 3),
+            measured_rtt_ms=round(measured, 3),
+        )
+        self._sim.schedule(rtt, lambda: self._probe_result(relay, measured, rtt))
 
-    def _probe_result(self, relay: Host, measured_rtt: float) -> None:
+    def _probe_result(
+        self, relay: Host, measured_rtt: float, true_rtt: float
+    ) -> None:
         if measured_rtt < self._current_rtt * (1.0 - self._config.switch_margin):
-            self._switch_to(relay, measured_rtt)
+            self._switch_to(relay, measured_rtt, true_rtt)
 
-    def _switch_to(self, relay: Host, rtt: float) -> None:
+    def _switch_to(self, relay: Host, rtt: float, true_rtt: float) -> None:
         now = self._sim.now_ms
         self.intervals[-1].end_ms = now
         self.intervals.append(_CarrierInterval(now, None, relay.ip))
         self._current_rtt = rtt
+        self._current_true_rtt = true_rtt
+        self._trace.point(
+            "skype.switch",
+            now,
+            relay=str(relay.ip),
+            measured_rtt_ms=round(rtt, 3),
+            path_rtt_ms=round(true_rtt, 3),
+        )
         if self._config.relay_mean_lifetime_ms is not None:
             lifetime = float(
                 self._rng.exponential(self._config.relay_mean_lifetime_ms)
@@ -162,11 +196,23 @@ class _DirectionMachine:
         self.intervals.append(_CarrierInterval(now, None, None))
         direct = self._latency.host_rtt_ms(self._src, self._dst)
         self._current_rtt = direct if direct is not None else float("inf")
+        self._current_true_rtt = self._current_rtt
         self._probed_ips.add(relay_ip)  # never re-probe the dead relay
+        self._trace.point("skype.relay_died", now, relay=str(relay_ip))
         self._sim.schedule(0.0, self._probe_batch)
 
     def finish(self, end_ms: float) -> None:
         self.intervals[-1].end_ms = end_ms
+        final = self.intervals[-1]
+        true_rtt = self._current_true_rtt
+        self._trace.end(
+            end_ms,
+            final_relay=str(final.relay_ip) if final.relay_ip is not None else None,
+            final_rtt_ms=round(true_rtt, 3) if np.isfinite(true_rtt) else None,
+            bounces=len(self.intervals) - 1,
+            stabilized_ms=round(final.start_ms, 3),
+            probes=len(self.probes),
+        )
 
 
 def run_skype_session(
@@ -188,13 +234,35 @@ def run_skype_session(
         overlay = SupernodeOverlay(population, config)
 
     sim = Simulator()
+    tracer = obs.tracer()
+    root = NULL_TRACE_SPAN
+    if tracer:
+        tracer.clock = lambda: sim.now_ms
+        direct = scenario.latency.host_rtt_ms(caller, callee)
+        root = tracer.begin(
+            "skype.call",
+            0.0,
+            session_id=session_id,
+            caller=str(caller_ip),
+            callee=str(callee_ip),
+            caller_as=caller.asn,
+            callee_as=callee.asn,
+            direct_rtt_ms=round(direct, 3) if direct is not None else None,
+        )
     rng_fwd = derive_rng(config.seed, "skype-fwd", str(session_id))
     rng_bwd = derive_rng(config.seed, "skype-bwd", str(session_id))
-    forward = _DirectionMachine(sim, caller, callee, overlay, scenario.latency, config, rng_fwd)
-    backward = _DirectionMachine(sim, callee, caller, overlay, scenario.latency, config, rng_bwd)
+    forward = _DirectionMachine(
+        sim, caller, callee, overlay, scenario.latency, config, rng_fwd,
+        trace=root.child("skype.direction", 0.0, direction="fwd"),
+    )
+    backward = _DirectionMachine(
+        sim, callee, caller, overlay, scenario.latency, config, rng_bwd,
+        trace=root.child("skype.direction", 0.0, direction="bwd"),
+    )
     sim.run(until_ms=duration_ms)
     forward.finish(duration_ms)
     backward.finish(duration_ms)
+    root.end(duration_ms, probes=len(forward.probes) + len(backward.probes))
 
     trace = SessionTrace(session_id=session_id, caller=caller_ip, callee=callee_ip)
     _synthesize_voice(trace, forward, caller, callee, config, at_caller=True)

@@ -41,7 +41,8 @@ PathLike = Union[str, Path]
 #: Bump whenever the semantics of cached artifacts change (pickle layout,
 #: matrix contents, close-set construction): old entries become unreadable
 #: by key mismatch rather than silently wrong.
-SCHEMA_VERSION = 1
+#: v2: CloseClusterSet gained ``probes_by_as`` (per-AS probe attribution).
+SCHEMA_VERSION = 2
 
 #: Environment override for the cache root when no explicit directory is
 #: configured.

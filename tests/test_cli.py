@@ -5,6 +5,56 @@ import pytest
 from repro.cli import main, make_parser
 
 
+#: The uniform interface every subcommand must accept (wired once in
+#: ``_subcommand``; this test file is the drift alarm).
+COMMON_FLAGS = (
+    "--scale", "--seed", "--workers", "--cache-dir",
+    "--obs-dir", "--log-level", "--trace",
+)
+
+
+def _subparsers(parser):
+    import argparse
+
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action.choices
+    raise AssertionError("no subparsers registered")
+
+
+class TestUniformFlags:
+    def test_every_subcommand_accepts_the_common_flags(self):
+        choices = _subparsers(make_parser())
+        assert choices  # at least one subcommand registered
+        for name, subparser in choices.items():
+            options = set(subparser._option_string_actions)
+            missing = [flag for flag in COMMON_FLAGS if flag not in options]
+            assert not missing, (
+                f"subcommand {name!r} drifted from the uniform interface: "
+                f"missing {missing} (register it via _subcommand)"
+            )
+
+    def test_common_flags_parse_on_every_subcommand(self):
+        parser = make_parser()
+        for name, subparser in _subparsers(parser).items():
+            argv = [name, "--scale", "tiny", "--seed", "7",
+                    "--obs-dir", "obs", "--log-level", "debug", "--trace"]
+            # Satisfy per-command required options generically.
+            for option, action in subparser._option_string_actions.items():
+                if action.required and option not in argv:
+                    argv += [option, "out"]
+            args = parser.parse_args(argv)
+            assert args.seed == 7
+            assert args.obs_dir == "obs"
+            assert args.log_level == "debug"
+            assert args.trace is True
+
+    def test_trace_without_obs_dir_is_an_error(self, capsys):
+        rc = main(["section3", "--scale", "tiny", "--trace"])
+        assert rc == 2
+        assert "--trace requires --obs-dir" in capsys.readouterr().err
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
@@ -108,6 +158,55 @@ class TestExtendedCommands:
             assert json.loads(line)["kind"]
         summary = json.loads((tmp_path / "chaos.json").read_text())
         assert sum(summary["calls"].values()) == 10
+
+    def test_trace_subcommand_end_to_end(self, tmp_path, capsys):
+        out = tmp_path / "trace"
+        rc = main([
+            "trace", "--scale", "tiny", "--seed", "11",
+            "--sessions", "4", "--joins", "4", "--skype-sessions", "2",
+            "--duration-ms", "15000", "--media-ms", "4000",
+            "--skype-ms", "30000", "--timelines", "2",
+            "--output", str(out),
+        ])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        # The aggregate report covers all four limits...
+        assert "Skype limits" in printed
+        for needle in ("L1 relay-RTT gap", "L2 same-AS duplicate probes",
+                       "L3 stabilization", "L4 probe messages"):
+            assert needle in printed
+        # ...and per-call timelines were rendered.
+        assert "setup.ping" in printed
+        # traces.jsonl exists beside the manifest and validates.
+        from repro import obs
+
+        records = obs.load_trace_file(out / obs.TRACES_FILENAME)
+        assert records
+        manifest = obs.load_manifest(out / obs.MANIFEST_FILENAME)
+        assert manifest["traces_file"] == obs.TRACES_FILENAME
+        assert manifest["traces_written"] == len(records)
+
+    def test_chaos_with_trace_writes_trace_file(self, tmp_path, capsys):
+        rc = main([
+            "chaos", "--scale", "tiny", "--seed", "11",
+            "--sessions", "6", "--joins", "6", "--latent", "6",
+            "--duration-ms", "10000", "--media-ms", "4000",
+            "--churn-rate", "60", "--crash-rate", "10",
+            "--obs-dir", str(tmp_path), "--trace",
+        ])
+        assert rc == 0
+        assert "chaos run:" in capsys.readouterr().out
+        from repro import obs
+        from repro.obs import trace_analysis as ta
+
+        records = obs.load_trace_file(tmp_path / obs.TRACES_FILENAME)
+        trees = ta.build_trees(records)
+        assert any(
+            t.root is not None and t.root.name == "call" for t in trees.values()
+        )
+        assert any(
+            t.root is not None and t.root.name == "fault" for t in trees.values()
+        )
 
     def test_chaos_sweep(self, capsys):
         rc = main([

@@ -91,6 +91,58 @@ class TestRegistry:
         assert parent.gauge("held").value == 5.0
 
 
+class TestHistogramQuantiles:
+    def test_empty_histogram_has_no_quantiles(self):
+        histogram = MetricsRegistry().histogram("h")
+        assert histogram.quantile(0.5) is None
+
+    def test_quantile_rejects_out_of_range(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(1.0)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.5)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+
+    def test_quantiles_ordered_and_bounded(self):
+        histogram = MetricsRegistry().histogram("h")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        p50, p95, p99 = (
+            histogram.quantile(0.50),
+            histogram.quantile(0.95),
+            histogram.quantile(0.99),
+        )
+        assert histogram.min <= p50 <= p95 <= p99 <= histogram.max
+        # Log2 buckets: the estimate is within one bucket of the truth.
+        assert p50 == pytest.approx(50.0, rel=0.5)
+
+    def test_single_value_quantiles_collapse(self):
+        histogram = MetricsRegistry().histogram("h")
+        histogram.observe(3.0)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == pytest.approx(3.0)
+
+    def test_snapshot_carries_quantiles(self):
+        registry = MetricsRegistry()
+        for value in (0.1, 0.2, 0.4):
+            registry.histogram("h").observe(value)
+        entry = registry.snapshot()["histograms"]["h"]
+        for key in ("count", "sum", "min", "max", "p50", "p95", "p99", "buckets"):
+            assert key in entry
+        assert entry["p50"] <= entry["p95"] <= entry["p99"]
+
+    def test_quantiles_survive_merge(self):
+        parent, child = MetricsRegistry(), MetricsRegistry()
+        for value in (1.0, 2.0):
+            parent.histogram("h").observe(value)
+        for value in (3.0, 4.0):
+            child.histogram("h").observe(value)
+        parent.merge_snapshot(child.snapshot())
+        assert parent.histogram("h").quantile(1.0) == pytest.approx(4.0)
+        assert parent.histogram("h").quantile(0.0) == pytest.approx(1.0)
+
+
 # -- module-level hooks --------------------------------------------------------
 
 
@@ -155,6 +207,41 @@ class TestForkedMerge:
         with obs.observe() as run:
             compute_delegate_matrices(scenario.latency, scenario.clusters, workers=2)
             assert run.registry.counter_value("matrix.columns") == serial.count
+
+    def test_fork_merge_exact_once_with_tracing_active(self, tmp_path):
+        """Tracing must not change fork-merge semantics: metrics from
+        workers still sum exactly once, and only the parent writes trace
+        records (children are detached, so ids never race)."""
+        if not fork_available():
+            pytest.skip("no fork start method on this platform")
+        items = list(range(12))
+        with obs.observe(obs_dir=tmp_path, command="unit", trace=True) as run:
+            root = obs.tracer().begin("call", 0.0)
+            results = run_forked(_counting_worker, chunked(items, 4), processes=2)
+            root.end(1.0)
+            assert sum(results) == sum(items)
+            assert run.registry.counter_value("test.items") == len(items)
+            assert run.registry.histogram("test.item_value").count == len(items)
+            assert run.trace is not None  # the parent tracer stays attached
+            written = run.trace.records_written
+        records = obs.load_trace_file(tmp_path / obs.TRACES_FILENAME)
+        assert len(records) == written == 2  # header + root span, nothing forked
+
+    def test_fork_merge_identical_with_and_without_tracing(self):
+        if not fork_available():
+            pytest.skip("no fork start method on this platform")
+        items = list(range(15))
+        snapshots = []
+        for trace in (False, True):
+            with obs.observe(trace=trace) as run:
+                run_forked(_counting_worker, chunked(items, 5), processes=2)
+                snapshot = run.registry.snapshot()
+                snapshots.append(
+                    (snapshot["counters"], snapshot["histograms"]["test.item_value"])
+                )
+        # Wall-clock timing histograms differ run to run; the worker-fed
+        # metrics must be identical whether or not tracing was active.
+        assert snapshots[0] == snapshots[1]
 
     def test_run_forked_untouched_when_disabled(self):
         if not fork_available():
