@@ -1,0 +1,90 @@
+"""Micro-benchmark of the wire codec: encode/decode throughput on the
+messages a call actually exchanges, recorded as a committed baseline in
+``benchmarks/BENCH_codec.json`` (the codec sits under every media
+packet, so a regression here taxes the whole service layer)."""
+
+import json
+import time
+from pathlib import Path
+
+from repro.net.codec import (
+    CloseSetQuery,
+    CloseSetReply,
+    FrameDecoder,
+    Join,
+    Keepalive,
+    Media,
+    Ping,
+    RelaySetup,
+    REQUEST,
+    decode_frame,
+    encode_frame,
+)
+from repro.netaddr import IPv4Address
+
+#: The message mix of one call: control plane (setup) plus data plane
+#: (a media frame with a typical 20 ms voice payload).
+_CALL_MIX = [
+    Join(ip=IPv4Address(0x0A010203), role=0, cluster=-1, wire_addr="127.0.0.1:9700"),
+    Ping(token=42),
+    CloseSetQuery(cluster=17, requester_ip=IPv4Address(0x0A010203)),
+    CloseSetReply(owner=17, entries=tuple((c, 10.0 * c) for c in range(30))),
+    RelaySetup(call_id=7, caller_ip=IPv4Address(1), callee_ip=IPv4Address(2)),
+    Media(call_id=7, seq=1, payload=bytes(160)),
+    Keepalive(call_id=7, seq=1),
+]
+
+
+def _time_ops(fn, n: int) -> float:
+    """Ops per second of ``fn`` run ``n`` times (one untimed warmup)."""
+    fn()
+    t0 = time.perf_counter()
+    for _ in range(n):
+        fn()
+    return n / (time.perf_counter() - t0)
+
+
+def test_bench_codec_round_trip():
+    rounds = 2_000
+    frames = [encode_frame(m, REQUEST, i + 1) for i, m in enumerate(_CALL_MIX)]
+    wire_bytes = sum(len(f) for f in frames)
+
+    def encode_all():
+        for index, message in enumerate(_CALL_MIX):
+            encode_frame(message, REQUEST, index + 1)
+
+    def decode_all():
+        for frame in frames:
+            decode_frame(frame)
+
+    def stream_all():
+        decoder = FrameDecoder()
+        count = 0
+        for frame in frames:
+            count += len(decoder.feed(frame))
+        return count
+
+    encode_ops = _time_ops(encode_all, rounds) * len(_CALL_MIX)
+    decode_ops = _time_ops(decode_all, rounds) * len(_CALL_MIX)
+    stream_ops = _time_ops(stream_all, rounds) * len(_CALL_MIX)
+    assert stream_all() == len(_CALL_MIX)
+
+    media = encode_frame(Media(call_id=7, seq=1, payload=bytes(160)))
+    media_ops = _time_ops(lambda: decode_frame(media), 20_000)
+
+    baseline = {
+        "message_mix": len(_CALL_MIX),
+        "wire_bytes_per_mix": wire_bytes,
+        "encode_msgs_per_sec": round(encode_ops),
+        "decode_msgs_per_sec": round(decode_ops),
+        "stream_decode_msgs_per_sec": round(stream_ops),
+        "media_decode_per_sec": round(media_ops),
+    }
+    (Path(__file__).parent / "BENCH_codec.json").write_text(
+        json.dumps(baseline, indent=2) + "\n"
+    )
+    # A 50 ms-interval voice stream needs 20 media frames/s per call;
+    # six figures of decodes per second keeps the codec irrelevant to
+    # capacity planning even at thousands of concurrent calls.
+    assert decode_ops > 50_000, baseline
+    assert encode_ops > 50_000, baseline

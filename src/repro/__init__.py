@@ -27,7 +27,7 @@ from repro.scenario import (
     tiny_scenario,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SCALES",

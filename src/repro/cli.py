@@ -8,9 +8,18 @@ Commands mirror the paper's workflow:
 - ``section5``   the 14-session Skype study (Tables 1-2, Figs. 6-7);
 - ``section7``   ASAP vs baselines on latent sessions (Figs. 11-16, 18);
 - ``scalability``the two-population experiment (Fig. 17);
-- ``call``       one ASAP call on the worst direct pair, verbosely;
+- ``call``       one ASAP call on the worst direct pair (or an explicit
+                 ``--src``/``--dst`` host pair), verbosely;
 - ``trace``      a traced chaos + Skype-baseline run, rendered as
-                 per-call timelines and the L1-L4 limits report.
+                 per-call timelines and the L1-L4 limits report;
+- ``serve``      run the bootstrap + surrogate daemons on real TCP
+                 sockets;
+- ``dial``       join host agents against a running ``serve`` and place
+                 one call over the wire (prints MOS and the setup
+                 critical path);
+- ``demo``       the whole overlay in one process — bootstrap,
+                 surrogates, hosts — over the deterministic loopback
+                 transport or real localhost sockets.
 
 Every subcommand is registered through :func:`_subcommand`, the single
 place the uniform flags (``--scale``/``--seed``/``--workers``/
@@ -34,6 +43,18 @@ from repro.scenario import SCALES, Scenario, ScenarioConfig, build_scenario
 
 def _build_from_args(args: argparse.Namespace) -> Scenario:
     return build_scenario(ScenarioConfig.from_cli_args(args))
+
+
+def _version_string() -> str:
+    from repro import __version__
+    from repro.net.codec import CODEC_SCHEMA_VERSION
+
+    return (
+        f"repro {__version__} "
+        f"(codec schema {CODEC_SCHEMA_VERSION}, "
+        f"trace schema {obs.TRACE_SCHEMA_VERSION}, "
+        f"manifest schema {obs.MANIFEST_SCHEMA_VERSION})"
+    )
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -196,11 +217,27 @@ def cmd_call(args: argparse.Namespace) -> int:
     scenario = _build_from_args(args)
     matrices = scenario.matrices
     system = ASAPSystem(scenario, ASAPConfig(k_hops=derive_k_hops(matrices)))
-    rtt = matrices.rtt_ms.copy()
-    rtt[~np.isfinite(rtt)] = -1.0
-    a, b = np.unravel_index(int(np.argmax(rtt)), rtt.shape)
-    clusters = scenario.clusters.all_clusters()
-    session = system.call(clusters[a].hosts[0].ip, clusters[b].hosts[0].ip)
+    if (args.src is None) != (args.dst is None):
+        print("error: --src and --dst must be given together", file=sys.stderr)
+        return 2
+    if args.src is not None:
+        hosts = scenario.population.hosts
+        for index in (args.src, args.dst):
+            if not 0 <= index < len(hosts):
+                print(
+                    f"error: host index {index} out of range "
+                    f"(population has {len(hosts)} hosts)",
+                    file=sys.stderr,
+                )
+                return 2
+        caller_ip, callee_ip = hosts[args.src].ip, hosts[args.dst].ip
+    else:
+        rtt = matrices.rtt_ms.copy()
+        rtt[~np.isfinite(rtt)] = -1.0
+        a, b = np.unravel_index(int(np.argmax(rtt)), rtt.shape)
+        clusters = scenario.clusters.all_clusters()
+        caller_ip, callee_ip = clusters[a].hosts[0].ip, clusters[b].hosts[0].ip
+    session = system.call(caller_ip, callee_ip)
     print(f"caller {session.caller} -> callee {session.callee}")
     print(f"direct RTT: {session.direct_rtt_ms:.0f} ms; relay needed: {session.relay_needed}")
     if session.selection is not None:
@@ -426,10 +463,196 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_world(args: argparse.Namespace):
+    from repro.service.world import ServiceWorld
+
+    return ServiceWorld.from_scale(
+        args.scale, args.seed, workers=args.workers, cache_dir=args.cache_dir
+    )
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the server side of the overlay — bootstrap + surrogate
+    daemons — on real TCP sockets until interrupted."""
+    import asyncio
+
+    from repro.net.sockets import TcpTransport
+    from repro.service.bootstrap import BootstrapServer
+    from repro.service.surrogate import SurrogateServer
+
+    world = _service_world(args)
+
+    async def serve() -> None:
+        bootstrap = BootstrapServer(world, TcpTransport(args.host, args.port))
+        await bootstrap.start()
+        surrogates = []
+        for cluster in world.populated_clusters():
+            server = SurrogateServer(
+                world, cluster, TcpTransport(args.host, 0), bootstrap.address
+            )
+            await server.start()
+            await server.register()
+            surrogates.append(server)
+        print(
+            f"bootstrap on {bootstrap.address}; "
+            f"{len(surrogates)} surrogate daemons registered "
+            f"(scale={args.scale} seed={args.seed})"
+        )
+        sys.stdout.flush()
+        try:
+            if args.duration_s is not None:
+                await asyncio.sleep(args.duration_s)
+            else:
+                await asyncio.Event().wait()
+        finally:
+            for server in surrogates:
+                await server.close()
+            await bootstrap.close()
+
+    try:
+        asyncio.run(serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def _print_dial_result(result, media_received: int) -> None:
+    print(
+        f"call {result.caller} -> {result.callee}: {result.outcome}"
+        + (f" ({result.failure_reason})" if result.failure_reason else "")
+    )
+    print(f"  path: {result.path}"
+          + (f" via {result.relay_ip} (cluster {result.relay_cluster})"
+             if result.relay_ip else ""))
+    if result.direct_rtt_ms is not None:
+        print(f"  direct RTT: {result.direct_rtt_ms:.1f} ms")
+    if result.path_rtt_ms is not None:
+        print(f"  path RTT:   {result.path_rtt_ms:.1f} ms")
+    if result.mos is not None:
+        print(f"  MOS:        {result.mos:.3f}")
+    print(
+        f"  media: {result.media_packets} sent, {media_received} delivered; "
+        f"keepalives {result.keepalives}, failovers {result.failovers}, "
+        f"selection messages {result.selection_messages}"
+    )
+    if result.setup_ms is not None:
+        print(f"setup critical path ({result.setup_ms:.1f} ms total):")
+        for name, ms in result.steps:
+            print(f"  {name:<14} {ms:9.1f} ms")
+
+
+def cmd_dial(args: argparse.Namespace) -> int:
+    """Join host agents against a running ``serve`` bootstrap and place
+    one call end-to-end over TCP: join, close-set exchange, relay
+    selection, media, teardown."""
+    import asyncio
+
+    from repro.core.runtime import RuntimePolicy
+    from repro.errors import ServiceError
+    from repro.net.faulty import ShapedTransport
+    from repro.net.sockets import TcpTransport
+    from repro.service.demo import _relay_pool_ips
+    from repro.service.host import HostAgent
+
+    world = _service_world(args)
+    if (args.src is None) != (args.dst is None):
+        print("error: --src and --dst must be given together", file=sys.stderr)
+        return 2
+    if args.src is not None:
+        hosts = world.scenario.population.hosts
+        caller_ip, callee_ip = hosts[args.src].ip, hosts[args.dst].ip
+    else:
+        pairs = world.latent_pairs(1)
+        if not pairs:
+            print("error: no latent call pair in this scenario", file=sys.stderr)
+            return 2
+        caller_ip, callee_ip = pairs[0]
+    pair = (caller_ip, callee_ip)
+
+    async def dial():
+        agents = {}
+        for ip in [caller_ip, callee_ip] + _relay_pool_ips(
+            world, [pair], {caller_ip, callee_ip}
+        ):
+            agent = HostAgent(
+                world,
+                ip,
+                ShapedTransport(TcpTransport()),
+                args.bootstrap,
+                RuntimePolicy(),
+            )
+            await agent.start()
+            agents[ip] = agent
+        # Shape the wire among the agents this process runs (the media
+        # path: caller, callee, relay candidates) with the scenario's
+        # ground-truth RTTs; control traffic to the remote bootstrap
+        # and surrogates stays unshaped.
+        for ip, agent in agents.items():
+            for other_ip, other in agents.items():
+                if other_ip == ip:
+                    continue
+                rtt = world.rtt_ms(ip, other_ip)
+                if rtt is not None:
+                    agent.transport.set_rtt_ms(other.address, rtt)
+        try:
+            for ip in sorted(agents, key=lambda a: a.value):
+                if not await agents[ip].join():
+                    raise ServiceError(f"agent {ip} failed to join the overlay")
+            result = await agents[caller_ip].dial(callee_ip, media_ms=args.media_ms)
+            received = sum(agents[callee_ip].media_received.values())
+        finally:
+            for agent in agents.values():
+                await agent.close()
+        return result, received
+
+    result, received = asyncio.run(dial())
+    _print_dial_result(result, received)
+    return 0 if result.outcome in ("completed", "degraded") else 1
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    """The whole overlay in one process: bootstrap, surrogates, host
+    agents, latent calls — over loopback (deterministic) or TCP."""
+    from repro.service.demo import run_demo
+
+    result = run_demo(
+        scale=args.scale,
+        seed=args.seed,
+        calls=args.calls,
+        media_ms=args.media_ms,
+        transport=args.transport,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+    )
+    print(
+        f"{result.transport} demo: {result.surrogate_count} surrogates, "
+        f"{result.host_count} host agents, {len(result.calls)} calls "
+        f"({result.completed} completed, {result.relayed} relayed)"
+    )
+    if result.transport == "loopback":
+        print(
+            f"  virtual time: {result.virtual_ms:.1f} ms; wire deliveries "
+            f"{result.wire_deliveries}, drops {result.wire_drops}"
+        )
+    for index, call in enumerate(result.calls):
+        received = (
+            result.media_delivered[index]
+            if index < len(result.media_delivered)
+            else 0
+        )
+        print()
+        _print_dial_result(call, received)
+    return 0 if result.completed == len(result.calls) else 1
+
+
 def make_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ASAP (ICDCS 2006) reproduction command-line interface",
+    )
+    parser.add_argument(
+        "--version", action="version", version=_version_string(),
+        help="print package and wire/trace/manifest schema versions",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -455,8 +678,13 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--sessions", type=int, default=1500)
     p.add_argument("--latent", type=int, default=40)
 
-    _subcommand(sub, "call", cmd_call,
-                "run one ASAP call on the worst direct pair")
+    p = _subcommand(sub, "call", cmd_call,
+                    "run one ASAP call on the worst direct pair "
+                    "(or an explicit --src/--dst host pair)")
+    p.add_argument("--src", type=int, default=None, metavar="I",
+                   help="caller host index into the population")
+    p.add_argument("--dst", type=int, default=None, metavar="J",
+                   help="callee host index into the population")
 
     p = _subcommand(sub, "figures", cmd_figures,
                     "export every figure's raw data as CSV")
@@ -528,6 +756,40 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--worlds", type=int, default=3)
     p.add_argument("--sessions", type=int, default=1200)
 
+    p = _subcommand(sub, "serve", cmd_serve,
+                    "run the bootstrap + surrogate daemons on TCP")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1)")
+    p.add_argument("--port", type=int, default=9700,
+                   help="bootstrap port (default: 9700; surrogates bind "
+                        "kernel-assigned ports and register)")
+    p.add_argument("--duration-s", type=float, default=None, metavar="S",
+                   help="serve for S seconds then exit (default: forever)")
+
+    p = _subcommand(sub, "dial", cmd_dial,
+                    "place one call over the wire against a running serve")
+    p.add_argument("--bootstrap", default="127.0.0.1:9700", metavar="ADDR",
+                   help="bootstrap address (default: 127.0.0.1:9700); the "
+                        "serve side must use the same --scale/--seed")
+    p.add_argument("--src", type=int, default=None, metavar="I",
+                   help="caller host index into the population "
+                        "(default: worst latent pair)")
+    p.add_argument("--dst", type=int, default=None, metavar="J",
+                   help="callee host index into the population")
+    p.add_argument("--media-ms", type=float, default=2_000.0,
+                   help="voice duration (default: 2000 ms)")
+
+    p = _subcommand(sub, "demo", cmd_demo,
+                    "whole overlay in one process (loopback or TCP)")
+    p.add_argument("--transport", choices=("loopback", "tcp"),
+                   default="loopback",
+                   help="wire substrate (default: loopback — deterministic "
+                        "virtual clock)")
+    p.add_argument("--calls", type=int, default=1,
+                   help="latent calls to place concurrently (default: 1)")
+    p.add_argument("--media-ms", type=float, default=2_000.0,
+                   help="voice duration per call (default: 2000 ms)")
+
     return parser
 
 
@@ -552,7 +814,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         log_level=getattr(args, "log_level", "info"),
         trace=trace,
     )
+    from repro import __version__
+    from repro.net.codec import CODEC_SCHEMA_VERSION
+
     obs.annotate(scale=getattr(args, "scale", None), seed=getattr(args, "seed", None))
+    obs.annotate(package_version=__version__, codec_schema=CODEC_SCHEMA_VERSION)
     try:
         return args.func(args)
     finally:

@@ -78,6 +78,34 @@ class RelaySelection:
         return min(rtts) if rtts else None
 
 
+def ranked_relay_clusters(
+    selection: Optional["RelaySelection"],
+) -> List[Tuple[float, int]]:
+    """Relay candidate clusters of a selection, best relay-path RTT first.
+
+    One-hop candidates contribute their cluster; two-hop candidates
+    contribute their first hop (the cluster the caller forwards media
+    into).  Duplicates keep their best RTT.  This ranking is shared by
+    the simulated runtime's relay pick / failover and the service
+    layer's host agents, so both tiers chase the same candidates in the
+    same order.
+    """
+    if selection is None:
+        return []
+    ranked: List[Tuple[float, int]] = [
+        (c.relay_rtt_ms, c.cluster) for c in selection.one_hop
+    ]
+    ranked += [(c.relay_rtt_ms, c.first) for c in selection.two_hop]
+    ranked.sort()
+    seen: set = set()
+    out: List[Tuple[float, int]] = []
+    for rtt, cluster in ranked:
+        if cluster not in seen:
+            seen.add(cluster)
+            out.append((rtt, cluster))
+    return out
+
+
 def select_close_relay(
     s1: CloseClusterSet,
     s2: CloseClusterSet,

@@ -56,6 +56,7 @@ from repro import obs
 from repro.obs.trace import NULL_TRACE_SPAN
 from repro.core.config import ASAPConfig
 from repro.core.protocol import ASAPSession, ASAPSystem
+from repro.core.relay_selection import ranked_relay_clusters
 from repro.errors import ConfigurationError, ProtocolError
 from repro.netaddr import IPv4Address
 from repro.scenario import Scenario
@@ -780,21 +781,7 @@ class ASAPRuntime:
 
     def _relay_candidate_clusters(self, session: ASAPSession) -> List[Tuple[float, int]]:
         """Failover candidate clusters, best relay-path RTT first."""
-        selection = session.selection
-        if selection is None:
-            return []
-        ranked: List[Tuple[float, int]] = [
-            (c.relay_rtt_ms, c.cluster) for c in selection.one_hop
-        ]
-        ranked += [(c.relay_rtt_ms, c.first) for c in selection.two_hop]
-        ranked.sort()
-        seen: Set[int] = set()
-        out: List[Tuple[float, int]] = []
-        for rtt, cluster in ranked:
-            if cluster not in seen:
-                seen.add(cluster)
-                out.append((rtt, cluster))
-        return out
+        return ranked_relay_clusters(session.selection)
 
     def _pick_relay(
         self, session: ASAPSession, exclude: Optional[Set[IPv4Address]] = None

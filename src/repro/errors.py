@@ -37,3 +37,37 @@ class ConfigurationError(ReproError, ValueError):
 
 class EvaluationError(ReproError):
     """An experiment harness was invoked with an inconsistent setup."""
+
+
+class WireError(ReproError):
+    """Base class for wire-protocol problems (codec and transports)."""
+
+
+class FrameError(WireError, ValueError):
+    """A wire frame is malformed: bad magic, truncated, oversized, or
+    carrying an unknown schema version or message type."""
+
+
+class CodecError(WireError, ValueError):
+    """A frame's payload does not match its message type's schema."""
+
+
+class TransportError(WireError):
+    """A transport could not deliver or complete an exchange."""
+
+
+class TransportTimeout(TransportError):
+    """A request saw no response within its timeout."""
+
+
+class RemoteError(TransportError):
+    """The remote node answered a request with an error frame."""
+
+    def __init__(self, code: int, detail: str = "") -> None:
+        super().__init__(f"remote error {code}: {detail}")
+        self.code = code
+        self.detail = detail
+
+
+class ServiceError(ReproError):
+    """A service daemon was driven incorrectly (bad role, not joined)."""

@@ -1,0 +1,92 @@
+"""``repro.net`` — the wire layer: binary codec and pluggable transports.
+
+Everything the simulated runtime exchanges as in-memory callbacks exists
+here as real bytes on a wire:
+
+- :mod:`repro.net.codec` — a versioned, length-prefixed binary encoding
+  of every ASAP protocol message (JOIN, CLOSE_SET_QUERY/REPLY, CALL_SETUP,
+  RELAY_SETUP, MEDIA, KEEPALIVE, error frames, …) with strict validation:
+  truncated or corrupt frames raise :class:`repro.errors.FrameError` /
+  :class:`repro.errors.CodecError`, never hang;
+- :mod:`repro.net.transport` — the message-transport interface service
+  daemons are written against;
+- :mod:`repro.net.loopback` — an in-process transport that drives the
+  same codec deterministically under a virtual clock (byte-identical
+  runs, CI-friendly);
+- :mod:`repro.net.sockets` — real asyncio TCP on localhost or anywhere;
+- :mod:`repro.net.faulty` — a seeded drop/latency-injecting wrapper
+  around any transport (the fault-injection story of :mod:`repro.faults`
+  extended to the wire).
+"""
+
+from repro.net.codec import (
+    CODEC_SCHEMA_VERSION,
+    ERROR,
+    MESSAGE_TYPES,
+    ONEWAY,
+    REQUEST,
+    RESPONSE,
+    Bye,
+    CallAccept,
+    CallSetup,
+    CloseSetQuery,
+    CloseSetReply,
+    ErrorFrame,
+    Frame,
+    FrameDecoder,
+    Join,
+    JoinOk,
+    Keepalive,
+    KeepaliveAck,
+    Media,
+    NodalPublish,
+    Ping,
+    Pong,
+    RelayOk,
+    RelaySetup,
+    Resolve,
+    ResolveOk,
+    decode_frame,
+    encode_frame,
+)
+from repro.net.faulty import FaultyTransport, ShapedTransport
+from repro.net.loopback import LoopbackHub, LoopbackTransport
+from repro.net.sockets import TcpTransport
+from repro.net.transport import Transport
+
+__all__ = [
+    "CODEC_SCHEMA_VERSION",
+    "ERROR",
+    "MESSAGE_TYPES",
+    "ONEWAY",
+    "REQUEST",
+    "RESPONSE",
+    "Bye",
+    "CallAccept",
+    "CallSetup",
+    "CloseSetQuery",
+    "CloseSetReply",
+    "ErrorFrame",
+    "FaultyTransport",
+    "Frame",
+    "FrameDecoder",
+    "Join",
+    "JoinOk",
+    "Keepalive",
+    "KeepaliveAck",
+    "LoopbackHub",
+    "LoopbackTransport",
+    "Media",
+    "NodalPublish",
+    "Ping",
+    "Pong",
+    "RelayOk",
+    "RelaySetup",
+    "Resolve",
+    "ResolveOk",
+    "ShapedTransport",
+    "TcpTransport",
+    "Transport",
+    "decode_frame",
+    "encode_frame",
+]

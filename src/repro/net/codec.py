@@ -1,0 +1,669 @@
+"""Versioned, length-prefixed binary codec for ASAP protocol messages.
+
+Frame layout (network byte order)::
+
+    +-------+---------+------+-------+------------+---------+=========+
+    | magic | version | type | flags | request_id | length  | payload |
+    | 2 B   | 1 B     | 1 B  | 1 B   | 4 B        | 4 B     | var     |
+    +-------+---------+------+-------+------------+---------+=========+
+
+``magic`` is ``b"AS"``; ``version`` is :data:`CODEC_SCHEMA_VERSION`;
+``type`` selects a registered message class; ``flags`` marks the frame
+as one-way, request, response or error-response (transports use
+``request_id`` to correlate the latter three); ``length`` counts payload
+bytes only.
+
+Message payloads are packed field-by-field from each message class's
+``FIELDS`` declaration — a table of ``(name, kind)`` pairs over a small
+set of primitive kinds (fixed-width integers, IEEE-754 doubles,
+length-prefixed strings/bytes, and ``(u32, f64)`` pair lists for close
+sets).  The table is the single schema source: encoding, decoding, the
+round-trip property tests and the microbenchmarks all derive from it,
+so a message class cannot drift from its wire form.
+
+Strictness guarantees (the contract :mod:`tests.test_net_codec` pins):
+
+- encoding is a pure function of the message — byte-deterministic;
+- :func:`decode_frame` on truncated, trailing-garbage, bad-magic,
+  wrong-version or unknown-type input raises
+  :class:`repro.errors.FrameError`;
+- a frame whose payload violates its message schema raises
+  :class:`repro.errors.CodecError`;
+- declared lengths are capped (:data:`MAX_PAYLOAD_BYTES`) so a corrupt
+  length field can never cause an unbounded allocation or a hang.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Dict, List, Tuple
+
+from repro.errors import CodecError, FrameError
+from repro.netaddr import IPv4Address
+
+__all__ = [
+    "CODEC_SCHEMA_VERSION",
+    "ERROR",
+    "MAX_PAYLOAD_BYTES",
+    "MESSAGE_TYPES",
+    "ONEWAY",
+    "REQUEST",
+    "RESPONSE",
+    "Bye",
+    "CallAccept",
+    "CallSetup",
+    "CloseSetQuery",
+    "CloseSetReply",
+    "ErrorFrame",
+    "Frame",
+    "FrameDecoder",
+    "Join",
+    "JoinOk",
+    "Keepalive",
+    "KeepaliveAck",
+    "Media",
+    "Message",
+    "NodalPublish",
+    "Ping",
+    "Pong",
+    "RelayOk",
+    "RelaySetup",
+    "Resolve",
+    "ResolveOk",
+    "decode_frame",
+    "encode_frame",
+]
+
+#: Bump when the frame layout or any message schema changes; decoders
+#: reject every other version.
+CODEC_SCHEMA_VERSION = 1
+
+#: Hard cap on a declared payload length — a corrupt length field must
+#: never trigger an unbounded read or allocation.
+MAX_PAYLOAD_BYTES = 1 << 20
+
+_MAGIC = b"AS"
+_HEADER = struct.Struct("!2sBBBII")
+
+# -- frame flags --------------------------------------------------------------
+
+ONEWAY = 0    #: fire-and-forget; no response expected
+REQUEST = 1   #: expects a RESPONSE (or ERROR) with the same request_id
+RESPONSE = 2  #: successful answer to a REQUEST
+ERROR = 3     #: error answer to a REQUEST; payload is an ErrorFrame
+
+_FLAGS = frozenset((ONEWAY, REQUEST, RESPONSE, ERROR))
+
+# -- primitive field kinds ----------------------------------------------------
+
+_U8 = struct.Struct("!B")
+_U16 = struct.Struct("!H")
+_U32 = struct.Struct("!I")
+_U64 = struct.Struct("!Q")
+_I32 = struct.Struct("!i")
+_F64 = struct.Struct("!d")
+_PAIR = struct.Struct("!Id")
+
+
+def _need(data: bytes, offset: int, count: int, what: str) -> None:
+    if offset + count > len(data):
+        raise CodecError(f"payload truncated reading {what}")
+
+
+class _Kind:
+    """One primitive wire kind: pack into a buffer / unpack at an offset."""
+
+    __slots__ = ("name", "pack", "unpack")
+
+    def __init__(self, name, pack, unpack) -> None:
+        self.name = name
+        self.pack = pack        # (out: List[bytes], value) -> None
+        self.unpack = unpack    # (data, offset) -> (value, new_offset)
+
+
+def _fixed_kind(name: str, fmt: struct.Struct, check=None) -> _Kind:
+    def pack(out: List[bytes], value) -> None:
+        if check is not None:
+            check(value)
+        try:
+            out.append(fmt.pack(value))
+        except (struct.error, TypeError) as exc:
+            raise CodecError(f"cannot pack {name} value {value!r}") from exc
+
+    def unpack(data: bytes, offset: int):
+        _need(data, offset, fmt.size, name)
+        return fmt.unpack_from(data, offset)[0], offset + fmt.size
+
+    return _Kind(name, pack, unpack)
+
+
+def _pack_ip(out: List[bytes], value) -> None:
+    if not isinstance(value, IPv4Address):
+        raise CodecError(f"ip field needs an IPv4Address, got {type(value).__name__}")
+    out.append(_U32.pack(value.value))
+
+
+def _unpack_ip(data: bytes, offset: int):
+    _need(data, offset, 4, "ip")
+    return IPv4Address(_U32.unpack_from(data, offset)[0]), offset + 4
+
+
+def _pack_str(out: List[bytes], value) -> None:
+    if not isinstance(value, str):
+        raise CodecError(f"str field needs a str, got {type(value).__name__}")
+    raw = value.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise CodecError(f"string too long for the wire ({len(raw)} bytes)")
+    out.append(_U16.pack(len(raw)))
+    out.append(raw)
+
+
+def _unpack_str(data: bytes, offset: int):
+    _need(data, offset, 2, "str length")
+    size = _U16.unpack_from(data, offset)[0]
+    offset += 2
+    _need(data, offset, size, "str body")
+    try:
+        return data[offset:offset + size].decode("utf-8"), offset + size
+    except UnicodeDecodeError as exc:
+        raise CodecError("string field is not valid UTF-8") from exc
+
+
+def _pack_bytes(out: List[bytes], value) -> None:
+    if not isinstance(value, (bytes, bytearray)):
+        raise CodecError(f"bytes field needs bytes, got {type(value).__name__}")
+    if len(value) > MAX_PAYLOAD_BYTES:
+        raise CodecError(f"bytes field too long ({len(value)} bytes)")
+    out.append(_U32.pack(len(value)))
+    out.append(bytes(value))
+
+
+def _unpack_bytes(data: bytes, offset: int):
+    _need(data, offset, 4, "bytes length")
+    size = _U32.unpack_from(data, offset)[0]
+    offset += 4
+    if size > MAX_PAYLOAD_BYTES:
+        raise CodecError(f"bytes field declares {size} bytes (cap {MAX_PAYLOAD_BYTES})")
+    _need(data, offset, size, "bytes body")
+    return data[offset:offset + size], offset + size
+
+
+def _pack_pairs(out: List[bytes], value) -> None:
+    try:
+        pairs = [(int(c), float(r)) for c, r in value]
+    except (TypeError, ValueError) as exc:
+        raise CodecError("pairs field needs an iterable of (int, float)") from exc
+    out.append(_U32.pack(len(pairs)))
+    for cluster, rtt in pairs:
+        if cluster < 0 or cluster > 0xFFFFFFFF:
+            raise CodecError(f"pair cluster {cluster} out of u32 range")
+        out.append(_PAIR.pack(cluster, rtt))
+
+
+def _unpack_pairs(data: bytes, offset: int):
+    _need(data, offset, 4, "pairs count")
+    count = _U32.unpack_from(data, offset)[0]
+    offset += 4
+    if count * _PAIR.size > MAX_PAYLOAD_BYTES:
+        raise CodecError(f"pairs field declares {count} entries")
+    _need(data, offset, count * _PAIR.size, "pairs body")
+    pairs = []
+    for _ in range(count):
+        cluster, rtt = _PAIR.unpack_from(data, offset)
+        pairs.append((cluster, rtt))
+        offset += _PAIR.size
+    return tuple(pairs), offset
+
+
+def _check_unsigned(bits: int):
+    top = (1 << bits) - 1
+
+    def check(value) -> None:
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise CodecError(f"u{bits} field needs an int, got {type(value).__name__}")
+        if not 0 <= value <= top:
+            raise CodecError(f"u{bits} value {value} out of range")
+
+    return check
+
+
+def _check_i32(value) -> None:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise CodecError(f"i32 field needs an int, got {type(value).__name__}")
+    if not -(1 << 31) <= value < (1 << 31):
+        raise CodecError(f"i32 value {value} out of range")
+
+
+def _check_f64(value) -> None:
+    if not isinstance(value, (int, float)) or isinstance(value, bool):
+        raise CodecError(f"f64 field needs a number, got {type(value).__name__}")
+
+
+KINDS: Dict[str, _Kind] = {
+    "u8": _fixed_kind("u8", _U8, _check_unsigned(8)),
+    "u16": _fixed_kind("u16", _U16, _check_unsigned(16)),
+    "u32": _fixed_kind("u32", _U32, _check_unsigned(32)),
+    "u64": _fixed_kind("u64", _U64, _check_unsigned(64)),
+    "i32": _fixed_kind("i32", _I32, _check_i32),
+    "f64": _fixed_kind("f64", _F64, _check_f64),
+    "ip": _Kind("ip", _pack_ip, _unpack_ip),
+    "str": _Kind("str", _pack_str, _unpack_str),
+    "bytes": _Kind("bytes", _pack_bytes, _unpack_bytes),
+    "pairs": _Kind("pairs", _pack_pairs, _unpack_pairs),
+}
+
+# -- message classes ----------------------------------------------------------
+
+#: wire type byte -> message class (filled by ``_register``).
+MESSAGE_TYPES: Dict[int, type] = {}
+
+
+class Message:
+    """Base for wire messages; subclasses declare ``TYPE`` and ``FIELDS``."""
+
+    TYPE: int = -1
+    FIELDS: Tuple[Tuple[str, str], ...] = ()
+
+    def pack_payload(self) -> bytes:
+        out: List[bytes] = []
+        for name, kind in self.FIELDS:
+            KINDS[kind].pack(out, getattr(self, name))
+        return b"".join(out)
+
+    @classmethod
+    def unpack_payload(cls, data: bytes) -> "Message":
+        offset = 0
+        values = {}
+        for name, kind in cls.FIELDS:
+            values[name], offset = KINDS[kind].unpack(data, offset)
+        if offset != len(data):
+            raise CodecError(
+                f"{cls.__name__} payload has {len(data) - offset} trailing bytes"
+            )
+        return cls(**values)
+
+
+def _register(cls):
+    """Class decorator: enter a message into the wire-type registry."""
+    if cls.TYPE in MESSAGE_TYPES:
+        raise ValueError(f"duplicate wire type {cls.TYPE:#x}")
+    declared = tuple(f.name for f in dataclass_fields(cls))
+    schema = tuple(name for name, _ in cls.FIELDS)
+    if declared != schema:
+        raise ValueError(
+            f"{cls.__name__}: dataclass fields {declared} != wire schema {schema}"
+        )
+    MESSAGE_TYPES[cls.TYPE] = cls
+    return cls
+
+
+#: Join roles on the wire.
+ROLE_HOST = 0
+ROLE_SURROGATE = 1
+
+
+@_register
+@dataclass(frozen=True)
+class Join(Message):
+    """Bootstrap registration (§6.1): a node enters the overlay.
+
+    ``wire_addr`` is the node's advertised transport address (the
+    bootstrap doubles as the overlay's directory); surrogates join with
+    ``role=ROLE_SURROGATE`` and the cluster they serve, hosts with
+    ``role=ROLE_HOST`` and ``cluster=-1`` (the bootstrap assigns one).
+    """
+
+    TYPE = 0x01
+    FIELDS = (
+        ("ip", "ip"),
+        ("role", "u8"),
+        ("cluster", "i32"),
+        ("wire_addr", "str"),
+    )
+
+    ip: IPv4Address
+    role: int
+    cluster: int
+    wire_addr: str
+
+
+@_register
+@dataclass(frozen=True)
+class JoinOk(Message):
+    """Bootstrap's answer: assigned cluster and its serving surrogate."""
+
+    TYPE = 0x02
+    FIELDS = (
+        ("cluster", "i32"),
+        ("surrogate_ip", "ip"),
+        ("surrogate_addr", "str"),
+    )
+
+    cluster: int
+    surrogate_ip: IPv4Address
+    surrogate_addr: str
+
+
+@_register
+@dataclass(frozen=True)
+class Resolve(Message):
+    """Directory lookup: which wire address serves this overlay IP?"""
+
+    TYPE = 0x03
+    FIELDS = (("ip", "ip"),)
+
+    ip: IPv4Address
+
+
+@_register
+@dataclass(frozen=True)
+class ResolveOk(Message):
+    TYPE = 0x04
+    FIELDS = (("ip", "ip"), ("found", "u8"), ("addr", "str"))
+
+    ip: IPv4Address
+    found: int
+    addr: str
+
+
+@_register
+@dataclass(frozen=True)
+class Ping(Message):
+    """Direct-path probe (Fig. 8 step 1)."""
+
+    TYPE = 0x05
+    FIELDS = (("token", "u32"),)
+
+    token: int
+
+
+@_register
+@dataclass(frozen=True)
+class Pong(Message):
+    TYPE = 0x06
+    FIELDS = (("token", "u32"),)
+
+    token: int
+
+
+@_register
+@dataclass(frozen=True)
+class CloseSetQuery(Message):
+    """Close-cluster-set request — to a surrogate (own leg) or to the
+    callee, which relays it to *its* surrogate (peer leg, Fig. 8)."""
+
+    TYPE = 0x07
+    FIELDS = (("cluster", "i32"), ("requester_ip", "ip"))
+
+    cluster: int          # -1 = "the cluster you serve / belong to"
+    requester_ip: IPv4Address
+
+
+@_register
+@dataclass(frozen=True)
+class CloseSetReply(Message):
+    """A close cluster set on the wire: (cluster index, RTT ms) pairs."""
+
+    TYPE = 0x08
+    FIELDS = (("owner", "i32"), ("entries", "pairs"))
+
+    owner: int
+    entries: Tuple[Tuple[int, float], ...]
+
+
+@_register
+@dataclass(frozen=True)
+class NodalPublish(Message):
+    """Nodal-information publish to the cluster surrogate (§6.1)."""
+
+    TYPE = 0x09
+    FIELDS = (
+        ("ip", "ip"),
+        ("bandwidth_kbps", "f64"),
+        ("uptime_hours", "f64"),
+        ("cpu_score", "f64"),
+    )
+
+    ip: IPv4Address
+    bandwidth_kbps: float
+    uptime_hours: float
+    cpu_score: float
+
+
+@_register
+@dataclass(frozen=True)
+class CallSetup(Message):
+    """Caller → callee: a call is starting on the given path."""
+
+    TYPE = 0x0A
+    FIELDS = (("call_id", "u64"), ("caller_ip", "ip"), ("callee_ip", "ip"))
+
+    call_id: int
+    caller_ip: IPv4Address
+    callee_ip: IPv4Address
+
+
+@_register
+@dataclass(frozen=True)
+class CallAccept(Message):
+    TYPE = 0x0B
+    FIELDS = (("call_id", "u64"), ("accept", "u8"))
+
+    call_id: int
+    accept: int
+
+
+@_register
+@dataclass(frozen=True)
+class RelaySetup(Message):
+    """Caller → chosen relay host: carry this call's media."""
+
+    TYPE = 0x0C
+    FIELDS = (("call_id", "u64"), ("caller_ip", "ip"), ("callee_ip", "ip"))
+
+    call_id: int
+    caller_ip: IPv4Address
+    callee_ip: IPv4Address
+
+
+@_register
+@dataclass(frozen=True)
+class RelayOk(Message):
+    TYPE = 0x0D
+    FIELDS = (("call_id", "u64"),)
+
+    call_id: int
+
+
+@_register
+@dataclass(frozen=True)
+class Media(Message):
+    """One media packet; relays forward it toward the callee."""
+
+    TYPE = 0x0E
+    FIELDS = (("call_id", "u64"), ("seq", "u32"), ("payload", "bytes"))
+
+    call_id: int
+    seq: int
+    payload: bytes
+
+
+@_register
+@dataclass(frozen=True)
+class Keepalive(Message):
+    """In-call liveness probe to the relay (drives §6 backup failover)."""
+
+    TYPE = 0x0F
+    FIELDS = (("call_id", "u64"), ("seq", "u32"))
+
+    call_id: int
+    seq: int
+
+
+@_register
+@dataclass(frozen=True)
+class KeepaliveAck(Message):
+    TYPE = 0x10
+    FIELDS = (("call_id", "u64"), ("seq", "u32"))
+
+    call_id: int
+    seq: int
+
+
+@_register
+@dataclass(frozen=True)
+class Bye(Message):
+    """Call teardown to the callee and any relay."""
+
+    TYPE = 0x11
+    FIELDS = (("call_id", "u64"), ("reason", "str"))
+
+    call_id: int
+    reason: str
+
+
+@_register
+@dataclass(frozen=True)
+class ErrorFrame(Message):
+    """Error response payload (flags=ERROR frames carry exactly this)."""
+
+    TYPE = 0x12
+    FIELDS = (("code", "u16"), ("detail", "str"))
+
+    code: int
+    detail: str
+
+
+#: Error codes carried by :class:`ErrorFrame`.
+ERR_UNSUPPORTED = 1   #: receiver has no handler for the message type
+ERR_INTERNAL = 2      #: handler raised
+ERR_NOT_SERVING = 3   #: role cannot satisfy the request (e.g. not joined)
+
+
+# -- frame encode / decode ----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Frame:
+    """A decoded wire frame: the message plus its envelope."""
+
+    message: Message
+    flags: int = ONEWAY
+    request_id: int = 0
+
+
+def encode_frame(message: Message, flags: int = ONEWAY, request_id: int = 0) -> bytes:
+    """Encode one message into its full wire frame (deterministic)."""
+    if type(message).TYPE not in MESSAGE_TYPES:
+        raise CodecError(f"unregistered message type {type(message).__name__}")
+    if flags not in _FLAGS:
+        raise CodecError(f"invalid frame flags {flags!r}")
+    if not 0 <= request_id <= 0xFFFFFFFF:
+        raise CodecError(f"request_id {request_id} out of u32 range")
+    payload = message.pack_payload()
+    if len(payload) > MAX_PAYLOAD_BYTES:
+        raise CodecError(f"payload too large ({len(payload)} bytes)")
+    header = _HEADER.pack(
+        _MAGIC, CODEC_SCHEMA_VERSION, type(message).TYPE, flags,
+        request_id, len(payload),
+    )
+    return header + payload
+
+
+def _decode_header(data: bytes, offset: int = 0) -> Tuple[int, int, int, int]:
+    """Validate a header at ``offset``; returns (type, flags, req_id, length).
+
+    Raises :class:`FrameError` on anything but a well-formed current-
+    version header (including a header shorter than the fixed size).
+    """
+    if len(data) - offset < _HEADER.size:
+        raise FrameError(
+            f"truncated frame: {len(data) - offset} bytes, "
+            f"header needs {_HEADER.size}"
+        )
+    magic, version, msg_type, flags, request_id, length = _HEADER.unpack_from(
+        data, offset
+    )
+    if magic != _MAGIC:
+        raise FrameError(f"bad magic {magic!r}")
+    if version != CODEC_SCHEMA_VERSION:
+        raise FrameError(
+            f"unsupported codec schema {version} (expected {CODEC_SCHEMA_VERSION})"
+        )
+    if msg_type not in MESSAGE_TYPES:
+        raise FrameError(f"unknown message type {msg_type:#x}")
+    if flags not in _FLAGS:
+        raise FrameError(f"unknown frame flags {flags:#x}")
+    if length > MAX_PAYLOAD_BYTES:
+        raise FrameError(f"declared payload {length} exceeds cap {MAX_PAYLOAD_BYTES}")
+    return msg_type, flags, request_id, length
+
+
+def decode_frame(data: bytes) -> Frame:
+    """Strictly decode exactly one frame from ``data``.
+
+    The buffer must hold one complete frame and nothing else: truncation
+    and trailing garbage both raise :class:`FrameError`; payload-schema
+    violations raise :class:`CodecError`.
+    """
+    msg_type, flags, request_id, length = _decode_header(data)
+    body_end = _HEADER.size + length
+    if len(data) < body_end:
+        raise FrameError(
+            f"truncated frame: payload declares {length} bytes, "
+            f"{len(data) - _HEADER.size} present"
+        )
+    if len(data) > body_end:
+        raise FrameError(f"{len(data) - body_end} trailing bytes after frame")
+    message = MESSAGE_TYPES[msg_type].unpack_payload(data[_HEADER.size:body_end])
+    return Frame(message=message, flags=flags, request_id=request_id)
+
+
+class FrameDecoder:
+    """Incremental frame reassembly for stream transports.
+
+    Feed arbitrary byte chunks; complete frames come back in order.  A
+    partial frame is buffered until its remainder arrives (that is the
+    one place "truncated" is not an error — the stream may simply not
+    have delivered the rest yet); corrupt headers and payloads raise
+    immediately, poisoning the decoder (a stream that desynchronized
+    cannot be trusted again).
+    """
+
+    __slots__ = ("_buffer", "_poisoned")
+
+    def __init__(self) -> None:
+        self._buffer = bytearray()
+        self._poisoned = False
+
+    @property
+    def pending_bytes(self) -> int:
+        """Bytes buffered toward the next (incomplete) frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[Frame]:
+        """Add bytes; return every frame completed by them."""
+        if self._poisoned:
+            raise FrameError("decoder poisoned by an earlier corrupt frame")
+        self._buffer.extend(data)
+        frames: List[Frame] = []
+        while True:
+            if len(self._buffer) < _HEADER.size:
+                break
+            view = bytes(self._buffer)
+            try:
+                _, _, _, length = _decode_header(view)
+            except FrameError:
+                self._poisoned = True
+                raise
+            end = _HEADER.size + length
+            if len(view) < end:
+                break
+            try:
+                frames.append(decode_frame(view[:end]))
+            except (FrameError, CodecError):
+                self._poisoned = True
+                raise
+            del self._buffer[:end]
+        return frames

@@ -1,0 +1,180 @@
+"""Wire-level transport wrappers: fault injection and latency shaping.
+
+:class:`FaultyTransport` wraps any :class:`repro.net.transport.Transport`
+and, from a seeded RNG, drops or delays outbound messages before they
+reach the inner transport.  It extends the :mod:`repro.faults`
+philosophy — deterministic, seed-reproducible failure schedules — down
+to the byte-moving layer: the same seed produces the same drop pattern
+on the loopback's virtual clock or on real sockets.
+
+A dropped *request* behaves exactly like a silent peer: the wrapper
+sleeps out the caller's timeout on the inner transport's clock and
+raises :class:`repro.errors.TransportTimeout`, so retry/backoff policies
+exercise their real code path.
+
+:class:`ShapedTransport` injects per-destination latency so real
+localhost sockets exhibit the scenario's RTTs: without it every
+localhost ping measures ~0 ms, the direct path always beats the latency
+threshold, and the relay machinery never runs.  (The loopback transport
+does not need it — its hub models latency natively under virtual time.)
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Optional
+
+from repro.errors import TransportTimeout
+from repro.net.codec import Message
+from repro.net.transport import Handler, Transport
+
+__all__ = ["FaultyTransport", "ShapedTransport"]
+
+
+class FaultyTransport(Transport):
+    """Drop/delay wrapper around another transport.
+
+    ``drop_rate`` is the probability an outbound send or request is
+    lost; ``extra_latency_ms`` (+ uniform ``jitter_ms``) delays every
+    surviving outbound message before it enters the inner transport.
+    Inbound traffic is untouched — wrap both ends to impair both
+    directions.
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        seed: int = 0,
+        drop_rate: float = 0.0,
+        extra_latency_ms: float = 0.0,
+        jitter_ms: float = 0.0,
+    ) -> None:
+        if not 0.0 <= drop_rate <= 1.0:
+            raise ValueError(f"drop_rate must be in [0, 1], got {drop_rate}")
+        self._inner = inner
+        self._rng = random.Random(seed)
+        self._drop_rate = drop_rate
+        self._extra_latency_ms = extra_latency_ms
+        self._jitter_ms = jitter_ms
+        self.dropped = 0
+
+    @property
+    def inner(self) -> Transport:
+        return self._inner
+
+    @property
+    def local_address(self) -> str:
+        return self._inner.local_address
+
+    def bind(self, handler: Handler) -> None:
+        self._inner.bind(handler)
+
+    async def start(self) -> None:
+        await self._inner.start()
+
+    async def close(self) -> None:
+        await self._inner.close()
+
+    def now_ms(self) -> float:
+        return self._inner.now_ms()
+
+    async def sleep_ms(self, ms: float) -> None:
+        await self._inner.sleep_ms(ms)
+
+    async def gather(self, *coros):
+        return await self._inner.gather(*coros)
+
+    def _drops(self) -> bool:
+        return self._drop_rate > 0.0 and self._rng.random() < self._drop_rate
+
+    async def _delay(self) -> None:
+        delay = self._extra_latency_ms
+        if self._jitter_ms > 0.0:
+            delay += self._rng.uniform(0.0, self._jitter_ms)
+        if delay > 0.0:
+            await self._inner.sleep_ms(delay)
+
+    async def send(self, addr: str, message: Message) -> None:
+        if self._drops():
+            self.dropped += 1
+            return
+        await self._delay()
+        await self._inner.send(addr, message)
+
+    async def request(self, addr: str, message: Message, timeout_ms: float) -> Message:
+        if self._drops():
+            self.dropped += 1
+            await self._inner.sleep_ms(timeout_ms)
+            raise TransportTimeout(
+                f"request to {addr} dropped by fault injection "
+                f"(timeout {timeout_ms} ms)"
+            )
+        await self._delay()
+        return await self._inner.request(addr, message, timeout_ms)
+
+
+class ShapedTransport(Transport):
+    """Per-destination latency injection for real sockets.
+
+    Each *request* to a registered destination is held back by that
+    destination's RTT before entering the inner transport, so the round
+    trip observed by the caller matches the scenario's ground truth.
+    One-way sends and unregistered destinations pass through unshaped
+    (directory and control traffic stays fast; only measured paths need
+    realism).
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        rtt_ms_of: Optional[Callable[[str], Optional[float]]] = None,
+    ) -> None:
+        self._inner = inner
+        self._rtt_ms_of = rtt_ms_of
+        self._rtt_table: Dict[str, float] = {}
+
+    @property
+    def inner(self) -> Transport:
+        return self._inner
+
+    def set_rtt_ms(self, addr: str, rtt_ms: float) -> None:
+        """Register the RTT to one destination address."""
+        self._rtt_table[addr] = rtt_ms
+
+    def _rtt(self, addr: str) -> Optional[float]:
+        if addr in self._rtt_table:
+            return self._rtt_table[addr]
+        if self._rtt_ms_of is not None:
+            return self._rtt_ms_of(addr)
+        return None
+
+    @property
+    def local_address(self) -> str:
+        return self._inner.local_address
+
+    def bind(self, handler: Handler) -> None:
+        self._inner.bind(handler)
+
+    async def start(self) -> None:
+        await self._inner.start()
+
+    async def close(self) -> None:
+        await self._inner.close()
+
+    def now_ms(self) -> float:
+        return self._inner.now_ms()
+
+    async def sleep_ms(self, ms: float) -> None:
+        await self._inner.sleep_ms(ms)
+
+    async def gather(self, *coros):
+        return await self._inner.gather(*coros)
+
+    async def send(self, addr: str, message: Message) -> None:
+        await self._inner.send(addr, message)
+
+    async def request(self, addr: str, message: Message, timeout_ms: float) -> Message:
+        rtt = self._rtt(addr)
+        if rtt is not None and rtt > 0.0:
+            await self._inner.sleep_ms(rtt)
+        return await self._inner.request(addr, message, timeout_ms)

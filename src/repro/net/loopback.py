@@ -1,0 +1,359 @@
+"""In-process loopback transport: the wire stack under a virtual clock.
+
+The loopback carries exactly the same bytes as the socket transport —
+every delivery is ``encode_frame`` → bytes → ``decode_frame`` — but
+moves them through a deterministic discrete-event scheduler instead of
+an operating-system socket:
+
+- **virtual time.**  :class:`LoopbackHub` owns a simulated clock (like
+  :class:`repro.sim.engine.Simulator`); deliveries take the configured
+  one-way latency, timeouts fire at exact virtual instants, and
+  ``sleep_ms`` parks on the virtual clock.  A 20-second call completes
+  in milliseconds of wall time.
+- **determinism.**  Events execute in (time, insertion order); parked
+  coroutines resume through asyncio's FIFO ready queue; no wall clock,
+  PID or unseeded randomness is ever consulted.  Two runs of the same
+  program therefore interleave identically — the service-layer CI diffs
+  ``traces.jsonl`` bytes across same-seed demo runs to hold this.
+
+The dispatcher advances virtual time only when every accounted coroutine
+is *parked* (awaiting a loopback future) — the classic conservative
+discrete-event rule.  Service code running over the loopback must
+therefore only suspend through transport primitives (``request``,
+``sleep_ms``, ``gather``); a bare ``asyncio.sleep`` would deadlock the
+virtual clock, exactly like calling ``time.sleep`` inside a simulator
+event.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import heapq
+import itertools
+from typing import Awaitable, Callable, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.errors import RemoteError, ServiceError, TransportTimeout
+from repro.net.codec import (
+    ERROR,
+    ONEWAY,
+    REQUEST,
+    RESPONSE,
+    ErrorFrame,
+    Frame,
+    Message,
+    decode_frame,
+    encode_frame,
+)
+from repro.net.codec import ERR_INTERNAL, ERR_UNSUPPORTED
+from repro.net.transport import Handler, Transport
+
+__all__ = ["LoopbackHub", "LoopbackTransport"]
+
+#: One-way delay used when the hub has no latency function configured.
+DEFAULT_RTT_MS = 2.0
+
+
+class LoopbackHub:
+    """Shared virtual wire all :class:`LoopbackTransport` endpoints ride.
+
+    ``latency_ms_fn(src_addr, dst_addr)`` supplies the round-trip time
+    between two endpoint addresses (``None`` = unreachable, the message
+    drops); without one every pair is :data:`DEFAULT_RTT_MS` apart.
+    """
+
+    def __init__(
+        self,
+        latency_ms_fn: Optional[Callable[[str, str], Optional[float]]] = None,
+    ) -> None:
+        self._latency_ms_fn = latency_ms_fn
+        self._endpoints: Dict[str, "LoopbackTransport"] = {}
+        self._now_ms = 0.0
+        self._heap: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._busy = 0
+        self._idle: Optional[asyncio.Event] = None
+        self.deliveries = 0
+        self.drops = 0
+
+    # -- clock -------------------------------------------------------------
+
+    @property
+    def now_ms(self) -> float:
+        """Current virtual time in milliseconds."""
+        return self._now_ms
+
+    def rtt_ms(self, src: str, dst: str) -> Optional[float]:
+        """Round-trip time between two addresses (None = no route)."""
+        if self._latency_ms_fn is None:
+            return DEFAULT_RTT_MS
+        return self._latency_ms_fn(src, dst)
+
+    # -- endpoint registry --------------------------------------------------
+
+    def register(self, transport: "LoopbackTransport") -> None:
+        if transport.local_address in self._endpoints:
+            raise ServiceError(
+                f"loopback address {transport.local_address!r} already bound"
+            )
+        self._endpoints[transport.local_address] = transport
+
+    def unregister(self, address: str) -> None:
+        self._endpoints.pop(address, None)
+
+    # -- scheduling core ----------------------------------------------------
+    #
+    # Accounting invariant: ``_busy`` counts coroutine contexts that are
+    # runnable or running.  Spawned tasks are +1 for their lifetime; a
+    # ``_park`` (await on a hub future) is -1 and the matching ``_unpark``
+    # +1, so a parked task nets zero.  The dispatcher advances virtual
+    # time only at ``_busy == 0`` — when nothing can possibly run until
+    # a scheduled event fires.
+
+    def _at(self, delay_ms: float, action: Callable[[], None]) -> None:
+        heapq.heappush(
+            self._heap, (self._now_ms + max(delay_ms, 0.0), next(self._seq), action)
+        )
+
+    def _spawn(self, coro: Awaitable) -> asyncio.Task:
+        self._busy += 1
+        if self._idle is not None:
+            self._idle.clear()
+
+        async def runner():
+            try:
+                return await coro
+            finally:
+                self._busy -= 1
+                if self._busy == 0 and self._idle is not None:
+                    self._idle.set()
+
+        return asyncio.get_running_loop().create_task(runner())
+
+    async def _park(self, future: asyncio.Future):
+        self._busy -= 1
+        if self._busy == 0 and self._idle is not None:
+            self._idle.set()
+        return await future
+
+    def _unpark(self, future: asyncio.Future, result=None, exc=None) -> None:
+        if future.done():
+            return
+        self._busy += 1
+        if self._idle is not None:
+            self._idle.clear()
+        if exc is not None:
+            future.set_exception(exc)
+        else:
+            future.set_result(result)
+
+    async def sleep_ms(self, ms: float) -> None:
+        """Park the calling coroutine for ``ms`` of virtual time."""
+        future = asyncio.get_running_loop().create_future()
+        self._at(ms, lambda: self._unpark(future))
+        await self._park(future)
+
+    async def gather(self, *coros: Awaitable) -> list:
+        """Run coroutines concurrently under hub accounting.
+
+        The loopback equivalent of ``asyncio.gather`` — plain gather
+        would hide the parent's wait from the scheduler and stall the
+        virtual clock.  All branches run to completion; the first
+        exception (by argument order) is re-raised afterwards.
+        """
+        if not coros:
+            return []
+        results: list = [None] * len(coros)
+        errors: list = [None] * len(coros)
+        remaining = len(coros)
+        future = asyncio.get_running_loop().create_future()
+
+        async def runner(index: int, coro: Awaitable) -> None:
+            nonlocal remaining
+            try:
+                results[index] = await coro
+            except Exception as exc:  # re-raised below, in argument order
+                errors[index] = exc
+            finally:
+                remaining -= 1
+                if remaining == 0:
+                    self._unpark(future)
+
+        for index, coro in enumerate(coros):
+            self._spawn(runner(index, coro))
+        await self._park(future)
+        for exc in errors:
+            if exc is not None:
+                raise exc
+        return results
+
+    async def run(self, main: Awaitable):
+        """Drive ``main`` (and everything it spawns) to completion.
+
+        The conservative dispatch loop: wait until every accounted
+        coroutine is parked, then fire the next scheduled event and
+        advance the virtual clock to it.  Returns ``main``'s result; the
+        remaining event heap (stale request timeouts) is drained so the
+        final virtual time is a pure function of the schedule.
+        """
+        self._idle = asyncio.Event()
+        if self._busy == 0:
+            self._idle.set()
+        main_task = self._spawn(main)
+        while True:
+            await self._idle.wait()
+            if not self._heap:
+                if not main_task.done():
+                    raise ServiceError(
+                        "loopback deadlock: coroutines parked with no "
+                        "scheduled events"
+                    )
+                break
+            time_ms, _, action = heapq.heappop(self._heap)
+            self._now_ms = time_ms
+            action()
+        return main_task.result()
+
+
+class LoopbackTransport(Transport):
+    """One endpoint on a :class:`LoopbackHub`."""
+
+    def __init__(self, hub: LoopbackHub, address: str) -> None:
+        self._hub = hub
+        self._address = address
+        self._handler: Optional[Handler] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._request_seq = itertools.count(1)
+        self._started = False
+
+    @property
+    def local_address(self) -> str:
+        return self._address
+
+    @property
+    def hub(self) -> LoopbackHub:
+        return self._hub
+
+    def bind(self, handler: Handler) -> None:
+        self._handler = handler
+
+    async def start(self) -> None:
+        if not self._started:
+            self._hub.register(self)
+            self._started = True
+
+    async def close(self) -> None:
+        if self._started:
+            self._hub.unregister(self._address)
+            self._started = False
+        for future in self._pending.values():
+            self._hub._unpark(future, exc=TransportTimeout("transport closed"))
+        self._pending.clear()
+
+    def now_ms(self) -> float:
+        return self._hub.now_ms
+
+    async def sleep_ms(self, ms: float) -> None:
+        await self._hub.sleep_ms(ms)
+
+    async def gather(self, *coros):
+        return await self._hub.gather(*coros)
+
+    # -- delivery ----------------------------------------------------------
+
+    def _schedule_inbound(self, dst: str, data: bytes, rtt: float) -> bool:
+        """Schedule ``data`` to arrive at ``dst`` half an RTT from now."""
+        dest = self._hub._endpoints.get(dst)
+        if dest is None:
+            self._hub.drops += 1
+            obs.counter("wire.dropped").inc()
+            return False
+        self._hub._at(
+            rtt / 2.0,
+            lambda: self._hub._spawn(dest._handle_inbound(self._address, data, rtt)),
+        )
+        return True
+
+    async def send(self, addr: str, message: Message) -> None:
+        data = encode_frame(message, ONEWAY, 0)
+        obs.counter("wire.sent").inc()
+        rtt = self._hub.rtt_ms(self._address, addr)
+        if rtt is None:
+            self._hub.drops += 1
+            obs.counter("wire.dropped").inc()
+            return
+        self._schedule_inbound(addr, data, rtt)
+
+    async def request(self, addr: str, message: Message, timeout_ms: float) -> Message:
+        request_id = next(self._request_seq)
+        data = encode_frame(message, REQUEST, request_id)
+        obs.counter("wire.sent").inc()
+        future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        rtt = self._hub.rtt_ms(self._address, addr)
+        delivered = False
+        if rtt is not None:
+            delivered = self._schedule_inbound(addr, data, rtt)
+        else:
+            self._hub.drops += 1
+            obs.counter("wire.dropped").inc()
+        if not delivered:
+            pass  # the timeout below is the only way the wait ends
+        self._hub._at(timeout_ms, lambda: self._fire_timeout(request_id, timeout_ms))
+        try:
+            frame: Frame = await self._hub._park(future)
+        finally:
+            self._pending.pop(request_id, None)
+        if frame.flags == ERROR:
+            assert isinstance(frame.message, ErrorFrame)
+            raise RemoteError(frame.message.code, frame.message.detail)
+        return frame.message
+
+    def _fire_timeout(self, request_id: int, timeout_ms: float) -> None:
+        future = self._pending.get(request_id)
+        if future is not None and not future.done():
+            obs.counter("wire.timeouts").inc()
+            self._hub._unpark(
+                future,
+                exc=TransportTimeout(
+                    f"no response from request {request_id} within {timeout_ms} ms"
+                ),
+            )
+
+    def _complete(self, request_id: int, data: bytes) -> None:
+        """A response frame arrived for one of our requests."""
+        future = self._pending.get(request_id)
+        if future is None or future.done():
+            return  # raced its own timeout; drop the late response
+        self._hub._unpark(future, decode_frame(data))
+
+    async def _handle_inbound(self, sender: str, data: bytes, rtt: float) -> None:
+        """Decode, dispatch, and (for requests) schedule the response."""
+        frame = decode_frame(data)
+        self._hub.deliveries += 1
+        obs.counter("wire.delivered").inc()
+        if frame.flags in (RESPONSE, ERROR):
+            self._complete(frame.request_id, data)
+            return
+        response: Optional[Message] = None
+        if self._handler is None:
+            response = ErrorFrame(code=ERR_UNSUPPORTED, detail="no handler bound")
+        else:
+            try:
+                response = await self._handler(sender, frame)
+            except Exception as exc:  # a daemon bug must answer, not hang
+                response = ErrorFrame(code=ERR_INTERNAL, detail=str(exc))
+        if frame.flags != REQUEST:
+            return
+        if response is None:
+            response = ErrorFrame(
+                code=ERR_UNSUPPORTED,
+                detail=f"no response for {type(frame.message).__name__}",
+            )
+        flags = ERROR if isinstance(response, ErrorFrame) else RESPONSE
+        out = encode_frame(response, flags, frame.request_id)
+        origin = self._hub._endpoints.get(sender)
+        if origin is not None:
+            self._hub._at(
+                rtt / 2.0, lambda: origin._complete(frame.request_id, out)
+            )

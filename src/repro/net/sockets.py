@@ -1,0 +1,245 @@
+"""Real asyncio TCP transport for the ASAP service daemons.
+
+Frames are written verbatim as produced by :func:`repro.net.codec.
+encode_frame` and reassembled from the byte stream with
+:class:`repro.net.codec.FrameDecoder`, so the bytes on a localhost
+socket are exactly the bytes the loopback transport moves in-process.
+
+Endpoint addresses are ``"host:port"`` strings.  Outbound connections
+are pooled per destination and reused for every subsequent send or
+request; responses are correlated back to their requests by the frame
+header's ``request_id``.  A peer that is down surfaces as
+:class:`repro.errors.TransportTimeout` (fast on connection refusal,
+after ``timeout_ms`` on silence), mirroring the loopback's unreachable
+semantics so retry policies behave identically on both substrates.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import time
+from typing import Dict, Optional
+
+from repro import obs
+from repro.errors import FrameError, RemoteError, TransportTimeout
+from repro.net.codec import (
+    ERROR,
+    ONEWAY,
+    REQUEST,
+    RESPONSE,
+    ErrorFrame,
+    Frame,
+    FrameDecoder,
+    Message,
+    encode_frame,
+)
+from repro.net.codec import ERR_INTERNAL, ERR_UNSUPPORTED
+from repro.net.transport import Handler, Transport
+
+__all__ = ["TcpTransport"]
+
+_READ_CHUNK = 65536
+
+
+class _Conn:
+    """One pooled outbound connection and its response-pump task."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        self.reader = reader
+        self.writer = writer
+        self.decoder = FrameDecoder()
+        self.task: Optional[asyncio.Task] = None
+
+    def alive(self) -> bool:
+        return not self.writer.is_closing()
+
+
+class TcpTransport(Transport):
+    """A TCP endpoint: one listening socket plus pooled client sockets."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._host = host
+        self._port = port
+        self._handler: Optional[Handler] = None
+        self._server: Optional[asyncio.base_events.Server] = None
+        self._conns: Dict[str, _Conn] = {}
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._request_seq = itertools.count(1)
+        self._inbound_tasks: set = set()
+
+    @property
+    def local_address(self) -> str:
+        return f"{self._host}:{self._port}"
+
+    def bind(self, handler: Handler) -> None:
+        self._handler = handler
+
+    async def start(self) -> None:
+        if self._server is not None:
+            return
+        self._server = await asyncio.start_server(
+            self._on_client, self._host, self._port
+        )
+        # Port 0 asks the kernel for a free port; advertise what we got.
+        self._port = self._server.sockets[0].getsockname()[1]
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        for conn in self._conns.values():
+            if conn.task is not None:
+                conn.task.cancel()
+            conn.writer.close()
+        self._conns.clear()
+        for task in list(self._inbound_tasks):
+            task.cancel()
+        self._inbound_tasks.clear()
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(TransportTimeout("transport closed"))
+        self._pending.clear()
+
+    def now_ms(self) -> float:
+        return time.monotonic() * 1000.0
+
+    async def sleep_ms(self, ms: float) -> None:
+        await asyncio.sleep(ms / 1000.0)
+
+    async def gather(self, *coros):
+        return await asyncio.gather(*coros)
+
+    # -- outbound ----------------------------------------------------------
+
+    async def _get_conn(self, addr: str) -> _Conn:
+        conn = self._conns.get(addr)
+        if conn is not None and conn.alive():
+            return conn
+        host, _, port = addr.rpartition(":")
+        try:
+            reader, writer = await asyncio.open_connection(host, int(port))
+        except (OSError, ValueError) as exc:
+            raise TransportTimeout(f"cannot connect to {addr}: {exc}") from exc
+        conn = _Conn(reader, writer)
+        conn.task = asyncio.get_running_loop().create_task(self._pump(conn))
+        self._conns[addr] = conn
+        return conn
+
+    async def _pump(self, conn: _Conn) -> None:
+        """Read frames off a pooled connection until it dies."""
+        try:
+            while True:
+                data = await conn.reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                for frame in conn.decoder.feed(data):
+                    if frame.flags in (RESPONSE, ERROR):
+                        self._complete(frame)
+                    elif self._handler is not None:
+                        self._spawn_inbound(conn.writer, "peer", frame)
+        except (asyncio.CancelledError, FrameError, OSError):
+            pass
+        finally:
+            conn.writer.close()
+
+    def _complete(self, frame: Frame) -> None:
+        future = self._pending.get(frame.request_id)
+        if future is not None and not future.done():
+            future.set_result(frame)
+
+    async def send(self, addr: str, message: Message) -> None:
+        obs.counter("wire.sent").inc()
+        try:
+            conn = await self._get_conn(addr)
+            conn.writer.write(encode_frame(message, ONEWAY, 0))
+            await conn.writer.drain()
+        except (TransportTimeout, OSError):
+            obs.counter("wire.dropped").inc()
+
+    async def request(self, addr: str, message: Message, timeout_ms: float) -> Message:
+        request_id = next(self._request_seq)
+        data = encode_frame(message, REQUEST, request_id)
+        obs.counter("wire.sent").inc()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            conn = await self._get_conn(addr)
+            conn.writer.write(data)
+            await conn.writer.drain()
+            try:
+                frame: Frame = await asyncio.wait_for(future, timeout_ms / 1000.0)
+            except asyncio.TimeoutError:
+                obs.counter("wire.timeouts").inc()
+                raise TransportTimeout(
+                    f"no response from {addr} within {timeout_ms} ms"
+                ) from None
+        finally:
+            self._pending.pop(request_id, None)
+        if frame.flags == ERROR:
+            assert isinstance(frame.message, ErrorFrame)
+            raise RemoteError(frame.message.code, frame.message.detail)
+        return frame.message
+
+    # -- inbound -----------------------------------------------------------
+
+    async def _on_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        peername = writer.get_extra_info("peername")
+        sender = f"{peername[0]}:{peername[1]}" if peername else "?"
+        decoder = FrameDecoder()
+        try:
+            while True:
+                data = await reader.read(_READ_CHUNK)
+                if not data:
+                    break
+                for frame in decoder.feed(data):
+                    if frame.flags in (RESPONSE, ERROR):
+                        self._complete(frame)
+                    else:
+                        self._spawn_inbound(writer, sender, frame)
+        except (asyncio.CancelledError, FrameError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    def _spawn_inbound(
+        self, writer: asyncio.StreamWriter, sender: str, frame: Frame
+    ) -> None:
+        task = asyncio.get_running_loop().create_task(
+            self._dispatch(writer, sender, frame)
+        )
+        self._inbound_tasks.add(task)
+        task.add_done_callback(self._inbound_tasks.discard)
+
+    async def _dispatch(
+        self, writer: asyncio.StreamWriter, sender: str, frame: Frame
+    ) -> None:
+        obs.counter("wire.delivered").inc()
+        response: Optional[Message] = None
+        if self._handler is None:
+            response = ErrorFrame(code=ERR_UNSUPPORTED, detail="no handler bound")
+        else:
+            try:
+                response = await self._handler(sender, frame)
+            except Exception as exc:  # a daemon bug must answer, not hang
+                response = ErrorFrame(code=ERR_INTERNAL, detail=str(exc))
+        if frame.flags != REQUEST:
+            return
+        if response is None:
+            response = ErrorFrame(
+                code=ERR_UNSUPPORTED,
+                detail=f"no response for {type(frame.message).__name__}",
+            )
+        flags = ERROR if isinstance(response, ErrorFrame) else RESPONSE
+        try:
+            writer.write(encode_frame(response, flags, frame.request_id))
+            await writer.drain()
+        except OSError:
+            pass  # requester is gone; its timeout handles the rest

@@ -1,0 +1,84 @@
+"""The message-transport interface service daemons are written against.
+
+A transport moves :class:`repro.net.codec.Message` objects between
+addressed endpoints, always through the wire codec (every delivery is an
+encode → bytes → decode round trip, whichever transport carries the
+bytes).  Two implementations ship:
+
+- :class:`repro.net.loopback.LoopbackTransport` — in-process, virtual
+  clock, deterministic (same program + same seed → byte-identical runs);
+- :class:`repro.net.sockets.TcpTransport` — real asyncio TCP sockets.
+
+plus :class:`repro.net.faulty.FaultyTransport`, a seeded drop/latency
+wrapper around either.
+
+Handlers are async callables ``handler(sender_addr, frame) -> Message |
+None``; for ``REQUEST`` frames the returned message is sent back as the
+response (``None`` or a raised error becomes an ``ERROR`` frame).  Time
+always comes from :meth:`Transport.now_ms` — the loopback's virtual
+clock or the socket transport's monotonic clock — never from
+``time.time()``, so instrumented daemons are clock-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Awaitable, Callable, Optional
+
+from repro.net.codec import Frame, Message
+
+__all__ = ["Handler", "Transport"]
+
+#: An endpoint's inbound dispatch: (sender address, frame) -> response.
+Handler = Callable[[str, Frame], Awaitable[Optional[Message]]]
+
+
+class Transport(abc.ABC):
+    """One endpoint on a message-moving substrate."""
+
+    @property
+    @abc.abstractmethod
+    def local_address(self) -> str:
+        """The address peers reach this endpoint at."""
+
+    @abc.abstractmethod
+    def bind(self, handler: Handler) -> None:
+        """Attach the inbound handler (before :meth:`start`)."""
+
+    @abc.abstractmethod
+    async def start(self) -> None:
+        """Begin accepting inbound messages."""
+
+    @abc.abstractmethod
+    async def close(self) -> None:
+        """Stop the endpoint and release its resources."""
+
+    @abc.abstractmethod
+    async def send(self, addr: str, message: Message) -> None:
+        """Fire-and-forget delivery (silently lost on a dead peer)."""
+
+    @abc.abstractmethod
+    async def request(self, addr: str, message: Message, timeout_ms: float) -> Message:
+        """Round-trip exchange; the response message, or raises.
+
+        :class:`repro.errors.TransportTimeout` when no response lands
+        within ``timeout_ms``; :class:`repro.errors.RemoteError` when the
+        peer answered with an error frame.
+        """
+
+    @abc.abstractmethod
+    def now_ms(self) -> float:
+        """This transport's clock (virtual or monotonic), in ms."""
+
+    @abc.abstractmethod
+    async def sleep_ms(self, ms: float) -> None:
+        """Sleep on this transport's clock."""
+
+    @abc.abstractmethod
+    async def gather(self, *coros):
+        """Run coroutines concurrently under this transport's scheduler.
+
+        Service code must use this instead of ``asyncio.gather`` so the
+        loopback's virtual clock can account for every waiter; on the
+        socket transport it is plain ``asyncio.gather``.
+        """

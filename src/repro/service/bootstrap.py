@@ -1,0 +1,93 @@
+"""The bootstrap daemon: registration plus the overlay's directory.
+
+In the paper the bootstrap server hands a joining host its cluster and
+serving surrogate (§6.1).  On a real wire it additionally plays
+directory: nodes register their transport address at join time, and
+anyone can resolve ``ip → wire address`` later.  Host agents resolve
+relay candidates through it before attempting a relay setup, so only
+IPs with a *running* agent behind them are ever dialed — the wire
+analogue of the simulator's "is this host registered" check.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro import obs
+from repro.net.codec import (
+    ERR_NOT_SERVING,
+    ROLE_SURROGATE,
+    ErrorFrame,
+    Join,
+    JoinOk,
+    Message,
+    Ping,
+    Pong,
+    Resolve,
+    ResolveOk,
+)
+from repro.net.transport import Transport
+from repro.netaddr import IPv4Address
+from repro.service.node import ServiceNode
+from repro.service.world import ServiceWorld
+
+__all__ = ["BootstrapServer"]
+
+
+class BootstrapServer(ServiceNode):
+    """Registration + directory over one :class:`ServiceWorld`."""
+
+    def __init__(self, world: ServiceWorld, transport: Transport) -> None:
+        super().__init__(transport, name="bootstrap")
+        self._world = world
+        #: ip string -> advertised wire address, filled by joins.
+        self.directory: Dict[str, str] = {}
+        #: cluster index -> (surrogate ip, wire address) of the daemon
+        #: that registered to serve it.
+        self.surrogates: Dict[int, Tuple[IPv4Address, str]] = {}
+        self.joins = 0
+        self.handle(Join, self._on_join)
+        self.handle(Resolve, self._on_resolve)
+        self.handle(Ping, self._on_ping)
+
+    async def _on_join(self, sender: str, message: Join) -> Message:
+        self.directory[str(message.ip)] = message.wire_addr
+        self.joins += 1
+        obs.counter("service.joins").inc()
+        if message.role == ROLE_SURROGATE:
+            cluster = (
+                message.cluster
+                if message.cluster >= 0
+                else self._world.cluster_of_ip(message.ip)
+            )
+            self.surrogates[cluster] = (message.ip, message.wire_addr)
+            return JoinOk(
+                cluster=cluster,
+                surrogate_ip=message.ip,
+                surrogate_addr=message.wire_addr,
+            )
+        cluster = self._world.cluster_of_ip(message.ip)
+        self._world.system.join(message.ip)
+        serving = self.surrogates.get(cluster)
+        if serving is None:
+            return ErrorFrame(
+                code=ERR_NOT_SERVING,
+                detail=f"no surrogate daemon serves cluster {cluster}",
+            )
+        surrogate_ip, surrogate_addr = serving
+        return JoinOk(
+            cluster=cluster,
+            surrogate_ip=surrogate_ip,
+            surrogate_addr=surrogate_addr,
+        )
+
+    async def _on_resolve(self, sender: str, message: Resolve) -> Message:
+        addr = self.directory.get(str(message.ip))
+        return ResolveOk(
+            ip=message.ip,
+            found=1 if addr is not None else 0,
+            addr=addr if addr is not None else "",
+        )
+
+    async def _on_ping(self, sender: str, message: Ping) -> Message:
+        return Pong(token=message.token)

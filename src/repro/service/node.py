@@ -1,0 +1,61 @@
+"""Common machinery of every service daemon: typed message dispatch.
+
+A :class:`ServiceNode` owns one transport endpoint and routes inbound
+frames to per-message-type async handlers.  A frame whose type has no
+handler is answered with ``ERR_UNSUPPORTED`` — a node never leaves a
+requester hanging on a message it does not speak (the requester's
+timeout is for *lost* messages, not unimplemented ones).
+"""
+
+from __future__ import annotations
+
+from typing import Awaitable, Callable, Dict, Optional, Type
+
+from repro.net.codec import ERR_UNSUPPORTED, ErrorFrame, Frame, Message
+from repro.net.transport import Transport
+
+__all__ = ["ServiceNode"]
+
+#: A typed message handler: (sender address, message) -> response | None.
+MessageHandler = Callable[[str, Message], Awaitable[Optional[Message]]]
+
+
+class ServiceNode:
+    """One daemon: a transport endpoint plus typed dispatch."""
+
+    def __init__(self, transport: Transport, name: str) -> None:
+        self._transport = transport
+        self.name = name
+        self._handlers: Dict[Type[Message], MessageHandler] = {}
+        transport.bind(self._dispatch)
+
+    @property
+    def transport(self) -> Transport:
+        return self._transport
+
+    @property
+    def address(self) -> str:
+        return self._transport.local_address
+
+    def handle(self, message_type: Type[Message], handler: MessageHandler) -> None:
+        """Route inbound messages of one type to an async handler."""
+        self._handlers[message_type] = handler
+
+    async def _dispatch(self, sender: str, frame: Frame) -> Optional[Message]:
+        handler = self._handlers.get(type(frame.message))
+        if handler is None:
+            return ErrorFrame(
+                code=ERR_UNSUPPORTED,
+                detail=f"{self.name} does not handle "
+                f"{type(frame.message).__name__}",
+            )
+        return await handler(sender, frame.message)
+
+    async def start(self) -> None:
+        await self._transport.start()
+
+    async def close(self) -> None:
+        await self._transport.close()
+
+    def now_ms(self) -> float:
+        return self._transport.now_ms()

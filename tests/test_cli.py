@@ -116,6 +116,34 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "direct RTT" in out
 
+    def test_call_with_explicit_pair(self, capsys):
+        rc = main(["call", "--scale", "tiny", "--seed", "11",
+                   "--src", "0", "--dst", "5"])
+        assert rc == 0
+        assert "direct RTT" in capsys.readouterr().out
+
+    def test_call_src_without_dst_is_an_error(self, capsys):
+        rc = main(["call", "--scale", "tiny", "--seed", "11", "--src", "0"])
+        assert rc == 2
+        assert "--src and --dst" in capsys.readouterr().err
+
+    def test_call_host_index_out_of_range(self, capsys):
+        rc = main(["call", "--scale", "tiny", "--seed", "11",
+                   "--src", "0", "--dst", "10000000"])
+        assert rc == 2
+        assert "out of range" in capsys.readouterr().err
+
+    def test_version_reports_package_and_schema_versions(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as exit_info:
+            main(["--version"])
+        assert exit_info.value.code == 0
+        out = capsys.readouterr().out
+        assert f"repro {__version__}" in out
+        assert "codec schema" in out
+        assert "manifest schema" in out
+
     def test_scalability(self, capsys):
         rc = main(["scalability", "--scale", "tiny", "--seed", "11",
                    "--sessions", "300", "--latent", "6"])
@@ -207,6 +235,26 @@ class TestExtendedCommands:
         assert any(
             t.root is not None and t.root.name == "fault" for t in trees.values()
         )
+
+    def test_demo_loopback(self, capsys):
+        rc = main(["demo", "--scale", "tiny", "--seed", "0",
+                   "--media-ms", "600"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "loopback demo" in out
+        assert "MOS" in out
+        assert "setup critical path" in out
+
+    def test_demo_records_versions_in_manifest(self, tmp_path):
+        rc = main(["demo", "--scale", "tiny", "--seed", "0",
+                   "--media-ms", "600", "--obs-dir", str(tmp_path)])
+        assert rc == 0
+        from repro import __version__, obs
+        from repro.net.codec import CODEC_SCHEMA_VERSION
+
+        manifest = obs.load_manifest(tmp_path / obs.MANIFEST_FILENAME)
+        assert manifest["annotations"]["package_version"] == __version__
+        assert manifest["annotations"]["codec_schema"] == CODEC_SCHEMA_VERSION
 
     def test_chaos_sweep(self, capsys):
         rc = main([

@@ -1,0 +1,205 @@
+"""Property-style tests for the wire codec.
+
+Random messages of every registered type must round-trip bit-exactly,
+and no amount of truncation or corruption may raise anything outside
+the :class:`repro.errors.WireError` family (or hang): the decoder is
+total over arbitrary bytes.
+"""
+
+import random
+import string
+
+import pytest
+
+from repro.errors import CodecError, FrameError, WireError
+from repro.net.codec import (
+    CODEC_SCHEMA_VERSION,
+    ERROR,
+    MAX_PAYLOAD_BYTES,
+    MESSAGE_TYPES,
+    ONEWAY,
+    REQUEST,
+    RESPONSE,
+    CloseSetReply,
+    ErrorFrame,
+    Frame,
+    FrameDecoder,
+    Join,
+    Media,
+    Ping,
+    decode_frame,
+    encode_frame,
+)
+from repro.netaddr import IPv4Address
+
+_FLAGS = (ONEWAY, REQUEST, RESPONSE, ERROR)
+
+
+def _random_value(kind: str, rng: random.Random):
+    if kind == "u8":
+        return rng.randrange(1 << 8)
+    if kind == "u16":
+        return rng.randrange(1 << 16)
+    if kind == "u32":
+        return rng.randrange(1 << 32)
+    if kind == "u64":
+        return rng.randrange(1 << 64)
+    if kind == "i32":
+        return rng.randrange(-(1 << 31), 1 << 31)
+    if kind == "f64":
+        return rng.choice([0.0, -1.5, rng.uniform(-1e9, 1e9), float(rng.randrange(10**6))])
+    if kind == "ip":
+        return IPv4Address(rng.randrange(1 << 32))
+    if kind == "str":
+        alphabet = string.ascii_letters + string.digits + " .:-/§µ"
+        return "".join(rng.choice(alphabet) for _ in range(rng.randrange(40)))
+    if kind == "bytes":
+        return bytes(rng.randrange(256) for _ in range(rng.randrange(64)))
+    if kind == "pairs":
+        return tuple(
+            (rng.randrange(1 << 32), rng.uniform(0.0, 5000.0))
+            for _ in range(rng.randrange(8))
+        )
+    raise AssertionError(f"unknown field kind {kind!r}")
+
+
+def _random_message(cls, rng: random.Random):
+    return cls(**{name: _random_value(kind, rng) for name, kind in cls.FIELDS})
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("msg_type", sorted(MESSAGE_TYPES))
+    def test_random_messages_round_trip(self, msg_type):
+        cls = MESSAGE_TYPES[msg_type]
+        rng = random.Random(msg_type)
+        for _ in range(50):
+            message = _random_message(cls, rng)
+            flags = rng.choice(_FLAGS)
+            request_id = rng.randrange(1 << 32)
+            frame = decode_frame(encode_frame(message, flags, request_id))
+            assert frame == Frame(message=message, flags=flags, request_id=request_id)
+
+    def test_encoding_is_deterministic(self):
+        rng = random.Random(7)
+        for msg_type, cls in sorted(MESSAGE_TYPES.items()):
+            message = _random_message(cls, rng)
+            assert encode_frame(message, REQUEST, 9) == encode_frame(message, REQUEST, 9)
+
+    def test_every_protocol_message_is_registered(self):
+        # 18 messages: the full §6 vocabulary plus the error frame.
+        assert len(MESSAGE_TYPES) == 18
+        names = {cls.__name__ for cls in MESSAGE_TYPES.values()}
+        assert {"Join", "CloseSetQuery", "CallSetup", "RelaySetup", "Media",
+                "Keepalive", "Bye", "ErrorFrame"} <= names
+
+
+class TestRejection:
+    def test_every_truncation_raises_frame_error(self):
+        data = encode_frame(
+            Join(ip=IPv4Address(1), role=0, cluster=-1, wire_addr="127.0.0.1:9"),
+            REQUEST,
+            3,
+        )
+        for cut in range(len(data)):
+            with pytest.raises(FrameError):
+                decode_frame(data[:cut])
+
+    def test_trailing_bytes_raise(self):
+        data = encode_frame(Ping(token=5))
+        with pytest.raises(FrameError):
+            decode_frame(data + b"\x00")
+
+    def test_single_byte_corruption_never_escapes_wire_errors(self):
+        rng = random.Random(13)
+        data = encode_frame(
+            CloseSetReply(owner=4, entries=[(1, 10.0), (9, 250.5)]), RESPONSE, 77
+        )
+        for index in range(len(data)):
+            for _ in range(4):
+                corrupt = bytearray(data)
+                corrupt[index] ^= rng.randrange(1, 256)
+                try:
+                    decode_frame(bytes(corrupt))
+                except WireError:
+                    pass  # FrameError or CodecError: both acceptable
+        # any non-WireError exception (or hang) fails the test
+
+    def test_random_garbage_never_escapes_wire_errors(self):
+        rng = random.Random(17)
+        for _ in range(200):
+            blob = bytes(rng.randrange(256) for _ in range(rng.randrange(120)))
+            try:
+                decode_frame(blob)
+            except WireError:
+                pass
+
+    def test_wrong_schema_version_rejected(self):
+        data = bytearray(encode_frame(Ping(token=1)))
+        data[2] = CODEC_SCHEMA_VERSION + 1
+        with pytest.raises(FrameError, match="schema"):
+            decode_frame(bytes(data))
+
+    def test_declared_payload_over_cap_rejected(self):
+        import struct
+
+        header = struct.pack("!2sBBBII", b"AS", CODEC_SCHEMA_VERSION, 0x05,
+                             ONEWAY, 0, MAX_PAYLOAD_BYTES + 1)
+        with pytest.raises(FrameError, match="cap"):
+            decode_frame(header)
+
+    def test_encode_rejects_bad_flags_and_request_id(self):
+        with pytest.raises(CodecError):
+            encode_frame(Ping(token=1), flags=9)
+        with pytest.raises(CodecError):
+            encode_frame(Ping(token=1), request_id=1 << 32)
+
+    def test_encode_rejects_out_of_range_field(self):
+        with pytest.raises(CodecError):
+            encode_frame(Ping(token=1 << 32))
+        with pytest.raises(CodecError):
+            encode_frame(Media(call_id=1, seq=2, payload="not-bytes"))
+
+
+class TestFrameDecoder:
+    def test_byte_by_byte_reassembly_in_order(self):
+        messages = [Ping(token=1), ErrorFrame(code=2, detail="x"), Ping(token=3)]
+        stream = b"".join(
+            encode_frame(m, REQUEST, i + 1) for i, m in enumerate(messages)
+        )
+        decoder = FrameDecoder()
+        frames = []
+        for index in range(len(stream)):
+            frames.extend(decoder.feed(stream[index:index + 1]))
+        assert [f.message for f in frames] == messages
+        assert [f.request_id for f in frames] == [1, 2, 3]
+        assert decoder.pending_bytes == 0
+
+    def test_partial_frame_is_buffered_not_an_error(self):
+        data = encode_frame(Ping(token=9))
+        decoder = FrameDecoder()
+        assert decoder.feed(data[:5]) == []
+        assert decoder.pending_bytes == 5
+        assert [f.message for f in decoder.feed(data[5:])] == [Ping(token=9)]
+
+    def test_corrupt_header_poisons_the_decoder(self):
+        decoder = FrameDecoder()
+        with pytest.raises(FrameError):
+            decoder.feed(b"XX" + bytes(11))
+        with pytest.raises(FrameError, match="poisoned"):
+            decoder.feed(encode_frame(Ping(token=1)))
+
+    def test_random_chunking_is_equivalent_to_whole_stream(self):
+        rng = random.Random(23)
+        messages = [
+            _random_message(MESSAGE_TYPES[t], rng) for t in sorted(MESSAGE_TYPES)
+        ]
+        stream = b"".join(encode_frame(m, ONEWAY, 0) for m in messages)
+        for trial in range(10):
+            chunk_rng = random.Random(trial)
+            decoder = FrameDecoder()
+            frames, offset = [], 0
+            while offset < len(stream):
+                step = chunk_rng.randrange(1, 40)
+                frames.extend(decoder.feed(stream[offset:offset + step]))
+                offset += step
+            assert [f.message for f in frames] == messages

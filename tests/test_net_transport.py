@@ -1,0 +1,246 @@
+"""Tests for the wire transports: loopback, TCP, fault and shaping wrappers.
+
+The loopback's virtual clock must be exact and deterministic; the TCP
+transport must round-trip the same frames over real sockets and map
+every failure (silence, refusal, handler crash) onto the same
+:mod:`repro.errors` types the retry policies consume.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.errors import RemoteError, TransportTimeout
+from repro.net.codec import ERR_INTERNAL, ERR_UNSUPPORTED, Ping, Pong
+from repro.net.faulty import FaultyTransport, ShapedTransport
+from repro.net.loopback import LoopbackHub, LoopbackTransport
+from repro.net.sockets import TcpTransport
+
+
+async def _echo(sender, frame):
+    return Pong(token=frame.message.token)
+
+
+async def _crash(sender, frame):
+    raise RuntimeError("handler bug")
+
+
+async def _silent(sender, frame):
+    return None
+
+
+def _loopback_pair(hub, shape=lambda t: t):
+    a = shape(LoopbackTransport(hub, "a"))
+    b = shape(LoopbackTransport(hub, "b"))
+    return a, b
+
+
+def _run_loopback(main, latency_ms_fn=None):
+    hub = LoopbackHub(latency_ms_fn=latency_ms_fn)
+    return hub, asyncio.run(hub.run(main(hub)))
+
+
+class TestLoopback:
+    def test_request_takes_exactly_one_rtt(self):
+        async def main(hub):
+            a, b = _loopback_pair(hub)
+            b.bind(_echo)
+            await a.start()
+            await b.start()
+            reply = await a.request("b", Ping(token=4), timeout_ms=100.0)
+            return reply, hub.now_ms
+
+        hub, (reply, now) = _run_loopback(
+            main, latency_ms_fn=lambda s, d: 10.0
+        )
+        assert reply == Pong(token=4)
+        assert now == pytest.approx(10.0)  # rtt/2 out + rtt/2 back
+
+    def test_timeout_fires_at_exact_virtual_instant(self):
+        async def main(hub):
+            a, b = _loopback_pair(hub)
+            b.bind(_silent)  # oneway-style handler: a request gets nothing
+            await a.start()
+            await b.start()
+            with pytest.raises(RemoteError):
+                # handler answers None to a REQUEST -> ERR_UNSUPPORTED reply
+                await a.request("b", Ping(token=1), timeout_ms=50.0)
+            with pytest.raises(TransportTimeout):
+                # unreachable peer: only the timeout ends the wait
+                await a.request("nowhere", Ping(token=2), timeout_ms=80.0)
+            return hub.now_ms
+
+        hub, now = _run_loopback(main, latency_ms_fn=lambda s, d: 4.0)
+        assert now == pytest.approx(4.0 + 80.0)
+
+    def test_handler_crash_maps_to_remote_error(self):
+        async def main(hub):
+            a, b = _loopback_pair(hub)
+            b.bind(_crash)
+            await a.start()
+            await b.start()
+            with pytest.raises(RemoteError) as err:
+                await a.request("b", Ping(token=1), timeout_ms=50.0)
+            return err.value.code
+
+        _, code = _run_loopback(main)
+        assert code == ERR_INTERNAL
+
+    def test_gather_runs_branches_concurrently(self):
+        async def main(hub):
+            a, b = _loopback_pair(hub)
+            b.bind(_echo)
+            await a.start()
+            await b.start()
+            replies = await a.gather(
+                a.request("b", Ping(token=1), timeout_ms=100.0),
+                a.request("b", Ping(token=2), timeout_ms=100.0),
+                a.sleep_ms(6.0),
+            )
+            return replies, hub.now_ms
+
+        hub, (replies, now) = _run_loopback(main, latency_ms_fn=lambda s, d: 10.0)
+        assert replies[:2] == [Pong(token=1), Pong(token=2)]
+        # concurrent: one RTT total, not two
+        assert now == pytest.approx(10.0)
+
+    def test_same_program_is_deterministic(self):
+        def run_once():
+            events = []
+
+            async def main(hub):
+                a, b = _loopback_pair(hub)
+                b.bind(_echo)
+                await a.start()
+                await b.start()
+                for token in range(5):
+                    await a.request("b", Ping(token=token), timeout_ms=100.0)
+                    events.append((token, hub.now_ms))
+                await a.sleep_ms(3.5)
+                events.append(("end", hub.now_ms))
+
+            hub, _ = _run_loopback(main, latency_ms_fn=lambda s, d: 7.0)
+            return events, hub.deliveries, hub.now_ms
+
+        assert run_once() == run_once()
+
+    def test_deadlock_is_detected_not_hung(self):
+        from repro.errors import ServiceError
+
+        async def main(hub):
+            # a bare future nothing will ever resolve
+            await hub._park(asyncio.get_running_loop().create_future())
+
+        hub = LoopbackHub()
+        with pytest.raises(ServiceError, match="deadlock"):
+            asyncio.run(hub.run(main(hub)))
+
+
+class TestTcp:
+    def test_request_response_over_real_sockets(self):
+        async def main():
+            server = TcpTransport()
+            server.bind(_echo)
+            await server.start()
+            client = TcpTransport()
+            await client.start()
+            try:
+                reply = await client.request(
+                    server.local_address, Ping(token=9), timeout_ms=2_000.0
+                )
+                return reply
+            finally:
+                await client.close()
+                await server.close()
+
+        assert asyncio.run(main()) == Pong(token=9)
+
+    def test_unhandled_type_raises_remote_error(self):
+        async def main():
+            server = TcpTransport()
+            await server.start()  # no handler bound
+            client = TcpTransport()
+            await client.start()
+            try:
+                with pytest.raises(RemoteError) as err:
+                    await client.request(
+                        server.local_address, Ping(token=1), timeout_ms=2_000.0
+                    )
+                return err.value.code
+            finally:
+                await client.close()
+                await server.close()
+
+        assert asyncio.run(main()) == ERR_UNSUPPORTED
+
+    def test_connection_refused_maps_to_timeout(self):
+        async def main():
+            client = TcpTransport()
+            await client.start()
+            try:
+                with pytest.raises(TransportTimeout):
+                    await client.request(
+                        "127.0.0.1:1", Ping(token=1), timeout_ms=500.0
+                    )
+            finally:
+                await client.close()
+
+        asyncio.run(main())
+
+
+class TestWrappers:
+    def test_faulty_drop_consumes_timeout_then_raises(self):
+        async def main(hub):
+            raw_a, b = _loopback_pair(hub)
+            a = FaultyTransport(raw_a, seed=0, drop_rate=1.0)
+            b.bind(_echo)
+            await a.start()
+            await b.start()
+            with pytest.raises(TransportTimeout):
+                await a.request("b", Ping(token=1), timeout_ms=60.0)
+            return hub.now_ms, a.dropped
+
+        hub, (now, dropped) = _run_loopback(main)
+        assert now == pytest.approx(60.0)  # silent peer: full timeout burned
+        assert dropped == 1
+
+    def test_faulty_zero_rate_is_transparent(self):
+        async def main(hub):
+            raw_a, b = _loopback_pair(hub)
+            a = FaultyTransport(raw_a, seed=0, drop_rate=0.0)
+            b.bind(_echo)
+            await a.start()
+            await b.start()
+            return await a.request("b", Ping(token=2), timeout_ms=60.0)
+
+        _, reply = _run_loopback(main)
+        assert reply == Pong(token=2)
+
+    def test_shaped_injects_per_destination_rtt(self):
+        async def main(hub):
+            raw_a, b = _loopback_pair(hub)
+            a = ShapedTransport(raw_a)
+            a.set_rtt_ms("b", 120.0)
+            b.bind(_echo)
+            await a.start()
+            await b.start()
+            start = a.now_ms()
+            await a.request("b", Ping(token=1), timeout_ms=1_000.0)
+            return a.now_ms() - start
+
+        _, elapsed = _run_loopback(main, latency_ms_fn=lambda s, d: 0.0)
+        assert elapsed == pytest.approx(120.0)
+
+    def test_shaped_unregistered_destination_passes_through(self):
+        async def main(hub):
+            raw_a, b = _loopback_pair(hub)
+            a = ShapedTransport(raw_a)
+            b.bind(_echo)
+            await a.start()
+            await b.start()
+            start = a.now_ms()
+            await a.request("b", Ping(token=1), timeout_ms=1_000.0)
+            return a.now_ms() - start
+
+        _, elapsed = _run_loopback(main, latency_ms_fn=lambda s, d: 8.0)
+        assert elapsed == pytest.approx(8.0)

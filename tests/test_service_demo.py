@@ -1,0 +1,113 @@
+"""End-to-end tests for the service layer: daemons, demo, determinism.
+
+The demo must complete a relayed call over both substrates; same-seed
+loopback runs must be byte-identical including ``traces.jsonl``; and
+the span vocabulary written by the daemons must match the simulated
+runtime's, so one trace-analysis toolkit reads both.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.service import ServiceWorld, run_demo
+
+SCALE, SEED = "tiny", 0
+
+
+@pytest.fixture(scope="module")
+def cache_dir(tmp_path_factory):
+    return str(tmp_path_factory.mktemp("scenario-cache"))
+
+
+@pytest.fixture()
+def world(cache_dir):
+    # A fresh world per test: the embedded ASAPSystem accumulates join
+    # state, so reuse would leak one run's registrations into the next.
+    return ServiceWorld.from_scale(SCALE, SEED, cache_dir=cache_dir)
+
+
+def _traced_demo(out_dir, world):
+    obs.start_run(str(out_dir), command="demo", trace=True)
+    try:
+        result = run_demo(world=world, calls=1, media_ms=2_000.0)
+    finally:
+        obs.finish_run()
+    return result, (out_dir / obs.TRACES_FILENAME).read_bytes()
+
+
+class TestLoopbackDemo:
+    def test_completes_a_relayed_call(self, world):
+        result = run_demo(world=world, calls=1, media_ms=2_000.0)
+        assert result.completed == 1
+        assert result.relayed == 1
+        assert result.best_mos() > 3.5
+        assert result.media_delivered[0] > 0
+        assert result.wire_drops == 0
+        call = result.calls[0]
+        assert call.path_rtt_ms < call.direct_rtt_ms
+        assert call.selection_messages > 0
+        # the setup critical path was recorded step by step
+        assert [name for name, _ in call.steps][:2] == ["ping", "close_set"]
+
+    def test_same_seed_runs_are_byte_identical(self, tmp_path, cache_dir):
+        runs = []
+        for name in ("a", "b"):
+            world = ServiceWorld.from_scale(SCALE, SEED, cache_dir=cache_dir)
+            out = tmp_path / name
+            result, trace_bytes = _traced_demo(out, world)
+            runs.append((result, trace_bytes))
+        (r1, t1), (r2, t2) = runs
+        assert t1 == t2  # traces.jsonl byte-identical
+        assert r1.virtual_ms == r2.virtual_ms
+        assert r1.wire_deliveries == r2.wire_deliveries
+        assert [c.mos for c in r1.calls] == [c.mos for c in r2.calls]
+
+    def test_span_vocabulary_matches_the_runtime(self, tmp_path, world):
+        _, trace_bytes = _traced_demo(tmp_path / "t", world)
+        records = [
+            json.loads(line) for line in trace_bytes.splitlines() if line
+        ]
+        assert records[0]["kind"] == "header"
+        names = {r["name"] for r in records if r["kind"] in ("span", "point")}
+        # the simulated runtime's vocabulary, produced by real daemons
+        assert {"join", "call", "setup.ping", "setup.select",
+                "setup.close_set", "setup.done", "media",
+                "net.request"} <= names
+        requests = [
+            r for r in records
+            if r["kind"] == "span" and r["name"] == "net.request"
+        ]
+        assert requests
+        for record in requests:
+            assert "category" in record["attrs"]
+            assert record["attrs"]["outcome"] in ("response", "timeout", "error")
+        # and the file validates against the trace schema
+        assert obs.validate_trace_records(
+            obs.load_trace_file(tmp_path / "t" / obs.TRACES_FILENAME)
+        ) == []
+
+    def test_latent_pairs_exclude_surrogate_hosts(self, world):
+        reserved = world.surrogate_ips()
+        for caller, callee in world.latent_pairs(3):
+            assert caller not in reserved
+            assert callee not in reserved
+
+
+class TestTcpDemo:
+    def test_completes_the_same_call_over_real_sockets(self, world, cache_dir):
+        tcp = run_demo(world=world, calls=1, media_ms=1_000.0, transport="tcp")
+        assert tcp.completed == 1
+        assert tcp.relayed == 1
+        assert tcp.best_mos() > 3.5
+        # the relay decision agrees with a loopback run of the same world
+        loop = run_demo(
+            world=ServiceWorld.from_scale(SCALE, SEED, cache_dir=cache_dir),
+            calls=1,
+            media_ms=1_000.0,
+        )
+        assert tcp.calls[0].relay_cluster == loop.calls[0].relay_cluster
+        assert tcp.calls[0].path_rtt_ms == pytest.approx(
+            loop.calls[0].path_rtt_ms
+        )
