@@ -1,0 +1,64 @@
+"""Scale benchmark of matrix assembly (10k → 1M clusters), recorded as
+the committed baseline in ``benchmarks/BENCH_matrix.json``.
+
+The 10k tier always runs (seconds); the 100k and 1M tiers are minutes
+of object-path work and only run with ``REPRO_BENCH_BIG=1`` — CI's
+perf-smoke job runs the 10k tier through the module's ``--check``
+gate instead.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.evaluation.matrixbench import (
+    SCALES,
+    run_bench,
+    validate_bench_document,
+)
+
+BIG_TIERS_ENV = "REPRO_BENCH_BIG"
+
+
+def test_bench_matrix_scale_tiers():
+    scales = ["10k"]
+    if os.environ.get(BIG_TIERS_ENV, "") not in ("", "0"):
+        scales += ["100k", "1m"]
+
+    # At least two workers even on a single-CPU box: the recorded
+    # baseline then always carries the chunk plan and per-chunk
+    # timings, with ``cpu_count`` telling readers whether the speedup
+    # number had real cores behind it.
+    document = run_bench(scales, workers=max(2, os.cpu_count() or 1))
+    assert validate_bench_document(document) == []
+
+    for tier in document["scales"]:
+        assert tier["clusters"] == SCALES[tier["scale"]]
+        assert tier["bit_identical"], tier
+        # The vectorized path must beat the scalar reference at every
+        # tier — and by 5x or more at the largest tier exercised.
+        assert tier["flat_speedup_vs_object"] > 1.0, tier
+    assert document["scales"][-1]["flat_speedup_vs_object"] >= 5.0
+
+    # Parallel assembly only pays off with real cores behind the pool;
+    # the shipped chunking must beat serial whenever there are >= 2.
+    parallel = document["scales"][0]["parallel"]
+    if document["cpu_count"] >= 2:
+        assert parallel is not None
+        assert parallel["bit_identical"]
+        assert parallel["object_speedup"] > 1.0, parallel
+
+    (Path(__file__).parent / "BENCH_matrix.json").write_text(
+        json.dumps(document, indent=2) + "\n"
+    )
+
+
+def test_recorded_baseline_schema():
+    """The committed BENCH_matrix.json always matches the schema (so the
+    obs-smoke job's ``recorded['serial_seconds']`` read keeps working)."""
+    recorded = json.loads(
+        (Path(__file__).parent / "BENCH_matrix.json").read_text()
+    )
+    assert validate_bench_document(recorded) == []
+    assert recorded["serial_seconds"] > 0.0
+    assert len(recorded["scales"]) >= 1

@@ -13,7 +13,6 @@ do not bound the search; only the hop limit stops expansion through them.
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
@@ -82,6 +81,15 @@ def construct_close_cluster_set(
     clusters it hosts.  ``lat``/``loss`` probe the direct path between
     this surrogate and another cluster's surrogate (2 messages per
     probed cluster are accounted).
+
+    The BFS is *level-synchronous*: each hop level discovers its new
+    (AS, phase) states as a set, probes newly seen ASes in ascending
+    ASN order, and only then expands.  Expansion rights are a property
+    of the AS — an AS whose probes all failed blocks every phase state
+    through it.  This makes the result independent of neighbor
+    iteration order, which is what lets the vectorized flat-array
+    builder (:mod:`repro.worldarrays.closesets`) reproduce it
+    bit-for-bit.
     """
     if config is None:
         config = ASAPConfig()
@@ -103,30 +111,39 @@ def construct_close_cluster_set(
                 result.entries[cluster] = CloseClusterEntry(cluster, rtt, lost, 0)
     result.ases_visited = 1
 
-    # Valley-free BFS outward, mirroring ASGraph.valley_free_ball but
-    # with threshold-based pruning per visited AS.
+    # Valley-free BFS outward, level by level, with threshold-based
+    # pruning per visited AS (latT/lossT "stop path expansion").
+    expands: Dict[int, bool] = {own_as: True}
     visited: Set[Tuple[int, int]] = {(own_as, _PHASE_UP)}
-    seen_as: Set[int] = {own_as}
-    queue = deque([(own_as, _PHASE_UP, 0)])
-    while queue:
-        node, phase, dist = queue.popleft()
-        if dist == config.k_hops:
-            continue
-        for nxt, nxt_phase in _steps(graph, node, phase, config.valley_free):
-            state = (nxt, nxt_phase)
-            if state in visited:
+    frontier: List[Tuple[int, int]] = [(own_as, _PHASE_UP)]
+    for depth in range(1, config.k_hops + 1):
+        discovered: Set[Tuple[int, int]] = set()
+        for node, phase in frontier:
+            if not expands[node]:
                 continue
-            visited.add(state)
-            expand = True
-            if nxt not in seen_as:
-                seen_as.add(nxt)
-                result.ases_visited += 1
-                expand = _visit_as(
-                    result, nxt, dist + 1, own_cluster, clusters_in_as, lat, loss, config
-                )
-            if expand:
-                queue.append((nxt, nxt_phase, dist + 1))
+            for state in _steps(graph, node, phase, config.valley_free):
+                if state not in visited:
+                    visited.add(state)
+                    discovered.add(state)
+        if not discovered:
+            break
+        for asn in sorted({a for a, _ in discovered} - expands.keys()):
+            result.ases_visited += 1
+            expands[asn] = _visit_as(
+                result, asn, depth, own_cluster, clusters_in_as, lat, loss, config
+            )
+        frontier = sorted(discovered)
 
+    emit_build_observability(result, own_as)
+    return result
+
+
+def emit_build_observability(result: CloseClusterSet, own_as: int) -> None:
+    """Counters, histograms, and the trace span of one close-set build.
+
+    Shared by the reference path above and the flat-array builder so the
+    two emit byte-identical observability for identical results.
+    """
     from repro import obs
 
     obs.counter("close_set.built").inc()
@@ -141,9 +158,9 @@ def construct_close_cluster_set(
         now = tracer.now()
         parent = tracer.active
         build = (
-            parent.child("close_set.build", now, owner=own_cluster, asn=own_as)
+            parent.child("close_set.build", now, owner=result.owner, asn=own_as)
             if parent
-            else tracer.begin("close_set.build", now, owner=own_cluster, asn=own_as)
+            else tracer.begin("close_set.build", now, owner=result.owner, asn=own_as)
         )
         build.end(
             now,
@@ -152,7 +169,6 @@ def construct_close_cluster_set(
             ases_visited=result.ases_visited,
             probes_by_as={str(k): v for k, v in sorted(result.probes_by_as.items())},
         )
-    return result
 
 
 def _visit_as(

@@ -79,10 +79,14 @@ class ASAPSystem:
     """A running ASAP deployment over one scenario."""
 
     def __init__(self, scenario: Scenario, config: Optional[ASAPConfig] = None) -> None:
+        from repro.worldarrays import flat_enabled
+
         self._scenario = scenario
         self._config = config = config if config is not None else ASAPConfig()
         self._matrices = scenario.matrices
         self._clusters = scenario.clusters
+        self._flat_builder = None
+        self._use_flat_close_sets = flat_enabled()
         graph = scenario.protocol_graph
 
         # Cluster bookkeeping at matrix-index granularity.
@@ -118,6 +122,30 @@ class ASAPSystem:
         self.sessions_run = 0
         self._init_close_sets()
 
+    def _flat_close_set_builder(self, own_cluster: int, own_as: int):
+        """Surrogate fast-builder hook: the flat-array close-set path.
+
+        The vectorized builder (CSR graph export + probe arrays) is
+        created on first use and shared by every surrogate of this
+        system; its results are bit-identical to the reference
+        construction (parity-tested), so surrogates cache them exactly
+        as they would the reference's.
+        """
+        return self._flat_builder_instance().build(own_cluster, own_as)
+
+    def _flat_builder_instance(self):
+        if self._flat_builder is None:
+            from repro.worldarrays import FlatCloseSetBuilder
+
+            self._flat_builder = FlatCloseSetBuilder(
+                self._scenario.protocol_graph,
+                self._matrices.rtt_ms,
+                self._matrices.loss,
+                self._clusters_by_as,
+                self._config,
+            )
+        return self._flat_builder
+
     # -- wiring ---------------------------------------------------------------
 
     @property
@@ -150,6 +178,9 @@ class ASAPSystem:
                 lat=self._probe_lat,
                 loss=self._probe_loss,
                 config=self._config,
+                fast_builder=(
+                    self._flat_close_set_builder if self._use_flat_close_sets else None
+                ),
             )
             if group:
                 member.close_set_source = group[0]
@@ -376,6 +407,10 @@ class ASAPSystem:
         self, pending: List[int], count: int
     ) -> Dict[int, CloseClusterSet]:
         if count > 1 and len(pending) > 1 and fork_available():
+            if self._use_flat_close_sets:
+                # Materialize the CSR export once pre-fork so every pool
+                # child inherits it copy-on-write instead of rebuilding it.
+                self._flat_builder_instance()
             global _PREBUILD_SYSTEM
             _PREBUILD_SYSTEM = self
             try:
@@ -465,18 +500,17 @@ def _build_close_set_chunk(indices: List[int]):
     out = []
     for idx in indices:
         primary = system._surrogates[idx][0]
-        out.append(
-            (
-                idx,
-                construct_close_cluster_set(
-                    own_cluster=idx,
-                    own_as=primary.asn,
-                    graph=primary.graph,
-                    clusters_in_as=system.clusters_in_as,
-                    lat=system._probe_lat,
-                    loss=system._probe_loss,
-                    config=system._config,
-                ),
+        if primary.fast_builder is not None:
+            built = primary.fast_builder(idx, primary.asn)
+        else:
+            built = construct_close_cluster_set(
+                own_cluster=idx,
+                own_as=primary.asn,
+                graph=primary.graph,
+                clusters_in_as=system.clusters_in_as,
+                lat=system._probe_lat,
+                loss=system._probe_loss,
+                config=system._config,
             )
-        )
+        out.append((idx, built))
     return out

@@ -41,6 +41,12 @@ class Surrogate:
     # §6.3 load sharing: replica surrogates of a large cluster serve the
     # primary's close set instead of re-probing the network themselves.
     close_set_source: Optional["Surrogate"] = field(default=None, repr=False)
+    # Optional accelerated builder (the flat-array path): called as
+    # ``fast_builder(cluster, asn)`` and required to return exactly what
+    # ``construct_close_cluster_set`` would — parity tests enforce it.
+    fast_builder: Optional[Callable[[int, int], CloseClusterSet]] = field(
+        default=None, repr=False
+    )
     _close_set: Optional[CloseClusterSet] = field(default=None, repr=False)
 
     @property
@@ -52,15 +58,18 @@ class Surrogate:
         if self.close_set_source is not None:
             return self.close_set_source.close_set()
         if self._close_set is None:
-            self._close_set = construct_close_cluster_set(
-                own_cluster=self.cluster,
-                own_as=self.asn,
-                graph=self.graph,
-                clusters_in_as=self.clusters_in_as,
-                lat=self.lat,
-                loss=self.loss,
-                config=self.config,
-            )
+            if self.fast_builder is not None:
+                self._close_set = self.fast_builder(self.cluster, self.asn)
+            else:
+                self._close_set = construct_close_cluster_set(
+                    own_cluster=self.cluster,
+                    own_as=self.asn,
+                    graph=self.graph,
+                    clusters_in_as=self.clusters_in_as,
+                    lat=self.lat,
+                    loss=self.loss,
+                    config=self.config,
+                )
         return self._close_set
 
     def serve_close_set(self) -> CloseClusterSet:

@@ -10,14 +10,26 @@ The computation exploits the policy-routing trees: for each destination
 cluster's AS we walk every source AS's next-hop chain once with
 memoization, so the full N×N matrix costs O(N·V) instead of O(N²·path).
 
+Two interchangeable assembly methods produce bit-identical matrices:
+
+- ``object`` — the scalar reference: python memo walks per tree and a
+  per-row loop per column;
+- ``flat`` (default; ``REPRO_FLAT_WORLD=0`` switches back) — the world
+  exported once into contiguous arrays (:mod:`repro.worldarrays`) and
+  filled with vectorized per-destination-AS broadcasts.
+
 Destination columns are mutually independent, so assembly optionally
-fans out over a fork-start process pool (``workers > 1``); the parallel
-path reuses the exact per-destination routine of the serial path and is
-bit-for-bit identical to it.
+fans out over a fork-start process pool (``workers > 1``): columns are
+grouped by destination AS (one tree resolution per AS total), chunks
+are cost-balanced via :func:`repro.util.parallel.plan_chunks`, and
+workers write their columns straight into fork-inherited shared-memory
+arrays — no result pickling.  Output is bit-for-bit identical to the
+serial path of the same method.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -28,10 +40,20 @@ from repro.netaddr import IPv4Address, IPv4Prefix
 from repro.measurement.latency import LatencyModel
 from repro.topology.clustering import Cluster, ClusterIndex
 from repro.topology.population import Host
-from repro.util.parallel import chunked, fork_available, resolve_workers, run_forked
+from repro.util.parallel import (
+    fork_available,
+    plan_chunks,
+    resolve_workers,
+    run_forked,
+    shared_ndarray,
+)
 from repro.util.rng import derive_rng
 
 UNREACHABLE = np.inf
+
+#: Assembly statistics of the most recent parallel run (chunk plan and
+#: per-chunk wall times) — consumed by the scale benchmarks.
+LAST_PARALLEL_STATS: Optional[Dict] = None
 
 
 @dataclass
@@ -91,18 +113,32 @@ class DelegateMatrices:
 _ASSEMBLY_STATE: Optional[tuple] = None
 
 
+def _resolve_method(method: Optional[str]) -> str:
+    """Resolve the assembly method (None → the REPRO_FLAT_WORLD default)."""
+    from repro.worldarrays import flat_enabled
+
+    if method is None:
+        return "flat" if flat_enabled() else "object"
+    if method not in ("flat", "object"):
+        raise MeasurementError(f"unknown assembly method {method!r}")
+    return method
+
+
 def compute_delegate_matrices(
     model: LatencyModel,
     clusters: ClusterIndex,
     workers: Optional[int] = None,
+    method: Optional[str] = None,
 ) -> DelegateMatrices:
     """Compute RTT / loss / hop matrices between all cluster delegates.
 
     ``workers`` controls the fan-out over destination clusters: ``1``
-    (or ``None`` without ``$REPRO_WORKERS``) is the serial reference
-    path, ``<= 0`` uses all CPUs, and any higher count chunks the
-    destination columns across a fork-start process pool.  Output is
-    identical bit-for-bit regardless of the worker count.
+    (or ``None`` without ``$REPRO_WORKERS``) runs serially, ``<= 0``
+    uses all CPUs, and any higher count chunks the destination columns
+    across a fork-start process pool writing into shared memory.
+    ``method`` picks ``"flat"`` (vectorized, the default) or
+    ``"object"`` (the scalar reference).  Output is identical
+    bit-for-bit regardless of worker count and method.
     """
     from repro import obs
 
@@ -120,34 +156,73 @@ def compute_delegate_matrices(
         raise MeasurementError("every cluster must have a delegate")
     access = np.array([d.access_delay_ms for d in delegates], dtype=float)
 
-    rtt = np.full((n, n), UNREACHABLE, dtype=float)
-    loss = np.full((n, n), 1.0, dtype=float)
-    hops = np.full((n, n), -1, dtype=np.int64)
+    use_flat = _resolve_method(method) == "flat"
+    worker_count = resolve_workers(workers)
+    parallel = worker_count > 1 and n > 1 and fork_available()
+
+    if parallel:
+        # Workers write their columns into these in place (fork children
+        # inherit the mapping) — results never cross a pickle boundary.
+        rtt = shared_ndarray((n, n), float, fill=UNREACHABLE)
+        loss = shared_ndarray((n, n), float, fill=1.0)
+        hops = shared_ndarray((n, n), np.int64, fill=-1)
+    else:
+        rtt = np.full((n, n), UNREACHABLE, dtype=float)
+        loss = np.full((n, n), 1.0, dtype=float)
+        hops = np.full((n, n), -1, dtype=np.int64)
 
     unique_ases = sorted(set(int(a) for a in asn_of))
     rows_of_as: Dict[int, List[int]] = {}
     for i, asn in enumerate(asn_of):
         rows_of_as.setdefault(int(asn), []).append(i)
 
-    worker_count = resolve_workers(workers)
     with obs.span("matrix.assemble", clusters=n, workers=worker_count):
-        if worker_count > 1 and n > 1 and fork_available():
+        if parallel:
+            if use_flat:
+                from repro.worldarrays import FlatMatrixAssembler, WorldArrays
+
+                assembler = FlatMatrixAssembler(
+                    model, WorldArrays.from_clusters(model, cluster_list)
+                )
+                state = ("flat", assembler, rtt, loss, hops)
+            else:
+                state = (
+                    "object",
+                    model,
+                    unique_ases,
+                    rows_of_as,
+                    access,
+                    asn_of,
+                    rtt,
+                    loss,
+                    hops,
+                )
+            chunks = _grouped_column_chunks(
+                asn_of, worker_count * 4, tree_cost=float(len(model.router.graph))
+            )
             global _ASSEMBLY_STATE
-            _ASSEMBLY_STATE = (model, unique_ases, rows_of_as, access, asn_of, n)
+            _ASSEMBLY_STATE = state
             try:
-                # More chunks than workers smooths over uneven tree-walk
-                # costs (destination ASes differ in reachable-source count).
-                blocks = run_forked(
-                    _assemble_columns,
-                    chunked(list(range(n)), worker_count * 4),
-                    processes=worker_count,
+                timings = run_forked(
+                    _fill_shared_chunk, chunks, processes=worker_count
                 )
             finally:
                 _ASSEMBLY_STATE = None
-            for columns, rtt_block, loss_block, hops_block in blocks:
-                rtt[:, columns] = rtt_block
-                loss[:, columns] = loss_block
-                hops[:, columns] = hops_block
+            global LAST_PARALLEL_STATS
+            LAST_PARALLEL_STATS = {
+                "chunk_sizes": [len(c) for c in chunks],
+                "chunk_seconds": [seconds for _, seconds in timings],
+                "workers": worker_count,
+            }
+        elif use_flat:
+            from repro.worldarrays import FlatMatrixAssembler, WorldArrays
+
+            assembler = FlatMatrixAssembler(
+                model, WorldArrays.from_clusters(model, cluster_list)
+            )
+            assembler.fill_columns(
+                list(range(n)), rtt, loss, hops, positions=list(range(n))
+            )
         else:
             _fill_destinations(
                 range(n), model, unique_ases, rows_of_as, access, asn_of, rtt, loss, hops
@@ -182,16 +257,22 @@ def _fill_destinations(
     rtt: np.ndarray,
     loss: np.ndarray,
     hops: np.ndarray,
+    positions: Optional[Sequence[int]] = None,
 ) -> None:
-    """Fill the given destination columns of the (pre-sliced) matrices.
+    """Fill the given destination columns of the matrices (object path).
 
-    Both the serial path and every pool worker run exactly this routine,
-    which is what makes parallel assembly bit-for-bit reproducible.
+    ``positions`` are the output column positions matching ``columns``
+    (defaults to enumeration order); the shared-memory workers pass the
+    global indices so they write the full matrices in place.  The serial
+    path and every pool worker run exactly this routine, which is what
+    makes parallel assembly bit-for-bit reproducible.
     """
     from repro import obs
 
     obs.counter("matrix.columns").inc(len(columns))
-    for col, j in enumerate(columns):
+    if positions is None:
+        positions = range(len(columns))
+    for col, j in zip(positions, columns):
         dest_as = int(asn_of[j])
         tree = model.routing_tree(dest_as)
         if tree is None:
@@ -207,19 +288,56 @@ def _fill_destinations(
                 hops[i, col] = hops_to[src_as]
 
 
-def _assemble_columns(
-    columns: List[int],
-) -> Tuple[List[int], np.ndarray, np.ndarray, np.ndarray]:
-    """Pool worker: compute one chunk of destination columns."""
-    model, unique_ases, rows_of_as, access, asn_of, n = _ASSEMBLY_STATE
-    width = len(columns)
-    rtt = np.full((n, width), UNREACHABLE, dtype=float)
-    loss = np.full((n, width), 1.0, dtype=float)
-    hops = np.full((n, width), -1, dtype=np.int64)
-    _fill_destinations(
-        columns, model, unique_ases, rows_of_as, access, asn_of, rtt, loss, hops
-    )
-    return columns, rtt, loss, hops
+def _grouped_column_chunks(
+    asn_of: np.ndarray, chunk_count: int, tree_cost: float
+) -> List[List[int]]:
+    """Cost-balanced column chunks that never split a destination AS.
+
+    Keeping an AS's columns together means each routing tree is resolved
+    by exactly one worker (the old evenly-sliced chunks re-walked shared
+    trees in several workers — a large part of the recorded parallel
+    regression).  Per-group cost models one tree resolution plus the
+    broadcast fill of the group's columns.
+    """
+    n = len(asn_of)
+    groups: Dict[int, List[int]] = {}
+    for j, asn in enumerate(asn_of):
+        groups.setdefault(int(asn), []).append(j)
+    ordered = [groups[asn] for asn in sorted(groups)]
+    costs = [tree_cost + len(cols) * n for cols in ordered]
+    plan = plan_chunks(costs, chunk_count)
+    return [
+        [j for group_index in chunk for j in ordered[group_index]] for chunk in plan
+    ]
+
+
+def _fill_shared_chunk(columns: List[int]) -> Tuple[int, float]:
+    """Pool worker: fill one chunk of global columns into shared memory.
+
+    Returns (column count, wall seconds) — the matrices themselves
+    travel through the fork-inherited shared mapping, not the pickle
+    channel.
+    """
+    state = _ASSEMBLY_STATE
+    started = time.perf_counter()
+    if state[0] == "flat":
+        _, assembler, rtt, loss, hops = state
+        assembler.fill_columns(columns, rtt, loss, hops, positions=columns)
+    else:
+        _, model, unique_ases, rows_of_as, access, asn_of, rtt, loss, hops = state
+        _fill_destinations(
+            columns,
+            model,
+            unique_ases,
+            rows_of_as,
+            access,
+            asn_of,
+            rtt,
+            loss,
+            hops,
+            positions=columns,
+        )
+    return len(columns), time.perf_counter() - started
 
 
 def _walk_tree(model: LatencyModel, tree, source_ases: List[int]):

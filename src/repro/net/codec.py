@@ -35,6 +35,7 @@ Strictness guarantees (the contract :mod:`tests.test_net_codec` pins):
 
 from __future__ import annotations
 
+import operator
 import struct
 from dataclasses import dataclass, fields as dataclass_fields
 from typing import Dict, List, Tuple
@@ -138,9 +139,13 @@ def _fixed_kind(name: str, fmt: struct.Struct, check=None) -> _Kind:
     return _Kind(name, pack, unpack)
 
 
-def _pack_ip(out: List[bytes], value) -> None:
+def _check_ip(value) -> None:
     if not isinstance(value, IPv4Address):
         raise CodecError(f"ip field needs an IPv4Address, got {type(value).__name__}")
+
+
+def _pack_ip(out: List[bytes], value) -> None:
+    _check_ip(value)
     out.append(_U32.pack(value.value))
 
 
@@ -165,7 +170,7 @@ def _unpack_str(data: bytes, offset: int):
     offset += 2
     _need(data, offset, size, "str body")
     try:
-        return data[offset:offset + size].decode("utf-8"), offset + size
+        return bytes(data[offset:offset + size]).decode("utf-8"), offset + size
     except UnicodeDecodeError as exc:
         raise CodecError("string field is not valid UTF-8") from exc
 
@@ -186,7 +191,7 @@ def _unpack_bytes(data: bytes, offset: int):
     if size > MAX_PAYLOAD_BYTES:
         raise CodecError(f"bytes field declares {size} bytes (cap {MAX_PAYLOAD_BYTES})")
     _need(data, offset, size, "bytes body")
-    return data[offset:offset + size], offset + size
+    return bytes(data[offset:offset + size]), offset + size
 
 
 def _pack_pairs(out: List[bytes], value) -> None:
@@ -208,12 +213,8 @@ def _unpack_pairs(data: bytes, offset: int):
     if count * _PAIR.size > MAX_PAYLOAD_BYTES:
         raise CodecError(f"pairs field declares {count} entries")
     _need(data, offset, count * _PAIR.size, "pairs body")
-    pairs = []
-    for _ in range(count):
-        cluster, rtt = _PAIR.unpack_from(data, offset)
-        pairs.append((cluster, rtt))
-        offset += _PAIR.size
-    return tuple(pairs), offset
+    end = offset + count * _PAIR.size
+    return tuple(_PAIR.iter_unpack(bytes(data[offset:end]))), end
 
 
 def _check_unsigned(bits: int):
@@ -240,11 +241,16 @@ def _check_f64(value) -> None:
         raise CodecError(f"f64 field needs a number, got {type(value).__name__}")
 
 
+_CHECK_U8 = _check_unsigned(8)
+_CHECK_U16 = _check_unsigned(16)
+_CHECK_U32 = _check_unsigned(32)
+_CHECK_U64 = _check_unsigned(64)
+
 KINDS: Dict[str, _Kind] = {
-    "u8": _fixed_kind("u8", _U8, _check_unsigned(8)),
-    "u16": _fixed_kind("u16", _U16, _check_unsigned(16)),
-    "u32": _fixed_kind("u32", _U32, _check_unsigned(32)),
-    "u64": _fixed_kind("u64", _U64, _check_unsigned(64)),
+    "u8": _fixed_kind("u8", _U8, _CHECK_U8),
+    "u16": _fixed_kind("u16", _U16, _CHECK_U16),
+    "u32": _fixed_kind("u32", _U32, _CHECK_U32),
+    "u64": _fixed_kind("u64", _U64, _CHECK_U64),
     "i32": _fixed_kind("i32", _I32, _check_i32),
     "f64": _fixed_kind("f64", _F64, _check_f64),
     "ip": _Kind("ip", _pack_ip, _unpack_ip),
@@ -253,6 +259,215 @@ KINDS: Dict[str, _Kind] = {
     "pairs": _Kind("pairs", _pack_pairs, _unpack_pairs),
 }
 
+# -- compiled per-message segment plans ---------------------------------------
+
+#: Fixed-width kinds foldable into one combined struct per run, with
+#: their format characters and value checks.  ``ip`` packs as a u32 of
+#: the address value.
+_FIXED_SEGMENT_KINDS = {
+    "u8": ("B", _CHECK_U8),
+    "u16": ("H", _CHECK_U16),
+    "u32": ("I", _CHECK_U32),
+    "u64": ("Q", _CHECK_U64),
+    "i32": ("i", _check_i32),
+    "f64": ("d", _check_f64),
+    "ip": ("I", _check_ip),
+}
+
+
+def _compile_segments(fields: Tuple[Tuple[str, str], ...]):
+    """Compile a FIELDS table into a segment plan.
+
+    Consecutive fixed-width fields collapse into one precompiled
+    ``struct.Struct`` — one pack/unpack call instead of one per field —
+    while variable-length fields keep their per-kind codecs.  Segments
+    are ``("fixed", struct, names, checks, ip_positions)`` (parallel
+    tuples, with ``ip_positions`` indexing the IPv4 members needing
+    value conversion) or ``("var", name, kind_codec)`` holding the
+    :class:`_Kind` object itself — everything the hot path touches is
+    resolved at compile time, not per call.
+    """
+    segments = []
+    run: List[Tuple[str, str]] = []
+
+    def flush() -> None:
+        if not run:
+            return
+        fmt = struct.Struct("!" + "".join(_FIXED_SEGMENT_KINDS[kind][0] for _, kind in run))
+        names = tuple(name for name, _ in run)
+        checks = tuple(_FIXED_SEGMENT_KINDS[kind][1] for _, kind in run)
+        ip_positions = tuple(
+            index for index, (_, kind) in enumerate(run) if kind == "ip"
+        )
+        segments.append(("fixed", fmt, names, checks, ip_positions))
+        run.clear()
+
+    for name, kind in fields:
+        if kind not in KINDS:
+            raise ValueError(f"unknown wire kind {kind!r} for field {name!r}")
+        if kind in _FIXED_SEGMENT_KINDS:
+            run.append((name, kind))
+        else:
+            flush()
+            segments.append(("var", name, KINDS[kind]))
+    flush()
+    return tuple(segments)
+
+
+def _compile_pack(segments):
+    """Compile a segment plan into a specialized ``pack_payload``.
+
+    Each segment becomes a closure with its struct, checks, and field
+    getters already bound; the common single-fixed-segment messages
+    (Ping, Keepalive, CallSetup, ...) collapse to a single check+pack
+    call with no intermediate list at all.
+    """
+
+    def fixed_step(fmt, names, checks, ip_positions):
+        pack = fmt.pack
+
+        if len(names) == 1:
+            name, check = names[0], checks[0]
+            if ip_positions:
+
+                def step(message) -> bytes:
+                    value = getattr(message, name)
+                    check(value)
+                    return pack(value.value)
+
+            else:
+
+                def step(message) -> bytes:
+                    value = getattr(message, name)
+                    check(value)
+                    return pack(value)
+
+            return step
+
+        getter = operator.attrgetter(*names)
+
+        if ip_positions:
+            # A second getter reaches straight through to the packed
+            # ``.value`` ints; the checks above guarantee it resolves.
+            wire_getter = operator.attrgetter(
+                *(
+                    f"{name}.value" if position in ip_positions else name
+                    for position, name in enumerate(names)
+                )
+            )
+
+            def step(message) -> bytes:
+                for check, value in zip(checks, getter(message)):
+                    check(value)
+                return pack(*wire_getter(message))
+
+        else:
+
+            def step(message) -> bytes:
+                values = getter(message)
+                for check, value in zip(checks, values):
+                    check(value)
+                return pack(*values)
+
+        return step
+
+    steps = []
+    for segment in segments:
+        if segment[0] == "fixed":
+            steps.append(fixed_step(*segment[1:]))
+        else:
+            _, name, kind = segment
+            kind_pack = kind.pack
+
+            def step(message, name=name, kind_pack=kind_pack) -> bytes:
+                out: List[bytes] = []
+                kind_pack(out, getattr(message, name))
+                return b"".join(out)
+
+            steps.append(step)
+
+    if len(steps) == 1:
+        return steps[0]
+    if len(steps) == 2:
+        first, second = steps
+
+        def pack_payload(self) -> bytes:
+            return first(self) + second(self)
+
+        return pack_payload
+
+    def pack_payload(self) -> bytes:
+        return b"".join([step(self) for step in steps])
+
+    return pack_payload
+
+
+def _compile_unpack(segments, cls):
+    """Compile a segment plan into a specialized ``unpack_payload``.
+
+    ``_register`` verifies the wire schema matches the dataclass field
+    order, so decoded values feed the constructor positionally — no
+    kwargs dict on the hot path.  The all-fixed messages (Ping, Media
+    envelope-free frames, ...) collapse to one exact-length check and
+    one combined struct unpack.
+    """
+    if len(segments) == 1 and segments[0][0] == "fixed":
+        _, fmt, names, checks, ip_positions = segments[0]
+        size = fmt.size
+        unpack = fmt.unpack
+        label = cls.__name__
+
+        if ip_positions:
+
+            def unpack_payload(data) -> "Message":
+                if len(data) != size:
+                    raise CodecError(
+                        f"{label} payload is {len(data)} bytes, expected {size}"
+                    )
+                values = list(unpack(data))
+                for position in ip_positions:
+                    values[position] = IPv4Address(values[position])
+                return cls(*values)
+
+        else:
+
+            def unpack_payload(data) -> "Message":
+                if len(data) != size:
+                    raise CodecError(
+                        f"{label} payload is {len(data)} bytes, expected {size}"
+                    )
+                return cls(*unpack(data))
+
+        return staticmethod(unpack_payload)
+
+    plan = segments
+    label = cls.__name__
+
+    def unpack_payload(data) -> "Message":
+        offset = 0
+        values: List = []
+        for segment in plan:
+            if segment[0] == "fixed":
+                _, fmt, _names, _checks, ip_positions = segment
+                _need(data, offset, fmt.size, f"{label} fixed fields")
+                unpacked = fmt.unpack_from(data, offset)
+                if ip_positions:
+                    unpacked = list(unpacked)
+                    for position in ip_positions:
+                        unpacked[position] = IPv4Address(unpacked[position])
+                values.extend(unpacked)
+                offset += fmt.size
+            else:
+                value, offset = segment[2].unpack(data, offset)
+                values.append(value)
+        if offset != len(data):
+            raise CodecError(
+                f"{label} payload has {len(data) - offset} trailing bytes"
+            )
+        return cls(*values)
+
+    return staticmethod(unpack_payload)
+
 # -- message classes ----------------------------------------------------------
 
 #: wire type byte -> message class (filled by ``_register``).
@@ -260,23 +475,54 @@ MESSAGE_TYPES: Dict[int, type] = {}
 
 
 class Message:
-    """Base for wire messages; subclasses declare ``TYPE`` and ``FIELDS``."""
+    """Base for wire messages; subclasses declare ``TYPE`` and ``FIELDS``.
+
+    The payload hot path runs over the class's compiled segment plan
+    (:func:`_compile_segments`): every run of fixed-width fields is one
+    combined struct call.  Per-field value checks still run before each
+    combined pack, so the error contract of the per-kind reference path
+    is preserved exactly.
+    """
 
     TYPE: int = -1
     FIELDS: Tuple[Tuple[str, str], ...] = ()
 
+    @classmethod
+    def _segments(cls):
+        """The compiled segment plan (built once per class, cached)."""
+        plan = cls.__dict__.get("_SEGMENT_PLAN")
+        if plan is None:
+            plan = _compile_segments(cls.FIELDS)
+            cls._SEGMENT_PLAN = plan
+        return plan
+
     def pack_payload(self) -> bytes:
-        out: List[bytes] = []
-        for name, kind in self.FIELDS:
-            KINDS[kind].pack(out, getattr(self, name))
-        return b"".join(out)
+        # Registered classes get a specialized override compiled by
+        # ``_register``; this generic fallback serves unregistered ones.
+        return _compile_pack(self._segments())(self)
 
     @classmethod
-    def unpack_payload(cls, data: bytes) -> "Message":
+    def unpack_payload(cls, data) -> "Message":
+        """Decode a payload (``bytes`` or ``memoryview`` — zero-copy)."""
+        try:
+            plan = cls._SEGMENT_PLAN
+        except AttributeError:
+            plan = cls._segments()
         offset = 0
         values = {}
-        for name, kind in cls.FIELDS:
-            values[name], offset = KINDS[kind].unpack(data, offset)
+        for segment in plan:
+            if segment[0] == "fixed":
+                _, fmt, names, checks, ip_positions = segment
+                _need(data, offset, fmt.size, f"{cls.__name__} fixed fields")
+                unpacked = fmt.unpack_from(data, offset)
+                for name, value in zip(names, unpacked):
+                    values[name] = value
+                for position in ip_positions:
+                    values[names[position]] = IPv4Address(unpacked[position])
+                offset += fmt.size
+            else:
+                _, name, kind = segment
+                values[name], offset = kind.unpack(data, offset)
         if offset != len(data):
             raise CodecError(
                 f"{cls.__name__} payload has {len(data) - offset} trailing bytes"
@@ -294,6 +540,9 @@ def _register(cls):
         raise ValueError(
             f"{cls.__name__}: dataclass fields {declared} != wire schema {schema}"
         )
+    cls._SEGMENT_PLAN = _compile_segments(cls.FIELDS)
+    cls.pack_payload = _compile_pack(cls._SEGMENT_PLAN)
+    cls.unpack_payload = _compile_unpack(cls._SEGMENT_PLAN, cls)
     MESSAGE_TYPES[cls.TYPE] = cls
     return cls
 
@@ -616,6 +865,9 @@ def decode_frame(data: bytes) -> Frame:
         )
     if len(data) > body_end:
         raise FrameError(f"{len(data) - body_end} trailing bytes after frame")
+    # One-shot decode: a plain bytes slice beats a memoryview here (the
+    # view's create/release overhead outweighs the single small copy);
+    # the streaming FrameDecoder is where views pay off.
     message = MESSAGE_TYPES[msg_type].unpack_payload(data[_HEADER.size:body_end])
     return Frame(message=message, flags=flags, request_id=request_id)
 
@@ -643,27 +895,44 @@ class FrameDecoder:
         return len(self._buffer)
 
     def feed(self, data: bytes) -> List[Frame]:
-        """Add bytes; return every frame completed by them."""
+        """Add bytes; return every frame completed by them.
+
+        The loop decodes straight out of a ``memoryview`` over the
+        buffer — no per-frame copy of the pending bytes; consumed frames
+        are trimmed once at the end (views are released first, since a
+        ``bytearray`` cannot shrink while exports exist).
+        """
         if self._poisoned:
             raise FrameError("decoder poisoned by an earlier corrupt frame")
         self._buffer.extend(data)
         frames: List[Frame] = []
-        while True:
-            if len(self._buffer) < _HEADER.size:
-                break
-            view = bytes(self._buffer)
-            try:
-                _, _, _, length = _decode_header(view)
-            except FrameError:
-                self._poisoned = True
-                raise
-            end = _HEADER.size + length
-            if len(view) < end:
-                break
-            try:
-                frames.append(decode_frame(view[:end]))
-            except (FrameError, CodecError):
-                self._poisoned = True
-                raise
-            del self._buffer[:end]
+        buffer = self._buffer
+        consumed = 0
+        view = memoryview(buffer)
+        try:
+            while len(buffer) - consumed >= _HEADER.size:
+                try:
+                    msg_type, flags, request_id, length = _decode_header(view, consumed)
+                except FrameError:
+                    self._poisoned = True
+                    raise
+                end = consumed + _HEADER.size + length
+                if len(buffer) < end:
+                    break
+                payload = view[consumed + _HEADER.size:end]
+                try:
+                    message = MESSAGE_TYPES[msg_type].unpack_payload(payload)
+                except (FrameError, CodecError):
+                    self._poisoned = True
+                    raise
+                finally:
+                    payload.release()
+                frames.append(
+                    Frame(message=message, flags=flags, request_id=request_id)
+                )
+                consumed = end
+        finally:
+            view.release()
+            if consumed:
+                del buffer[:consumed]
         return frames

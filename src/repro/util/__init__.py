@@ -1,7 +1,13 @@
 """Shared utilities: deterministic RNG plumbing, distribution helpers,
 and multiprocess fan-out support."""
 
-from repro.util.parallel import chunked, fork_available, resolve_workers
+from repro.util.parallel import (
+    chunked,
+    fork_available,
+    plan_chunks,
+    resolve_workers,
+    shared_ndarray,
+)
 from repro.util.rng import derive_rng, spawn_rngs
 from repro.util.stats import (
     ccdf_points,
@@ -19,7 +25,9 @@ __all__ = [
     "derive_rng",
     "fork_available",
     "percentile",
+    "plan_chunks",
     "resolve_workers",
+    "shared_ndarray",
     "spawn_rngs",
     "summarize",
 ]

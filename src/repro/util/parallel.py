@@ -24,10 +24,13 @@ Worker-count resolution order (most to least specific):
 
 from __future__ import annotations
 
+import mmap
 import multiprocessing
 import os
 import time
-from typing import Iterable, List, Optional, Sequence, TypeVar
+from typing import Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+import numpy as np
 
 T = TypeVar("T")
 
@@ -74,6 +77,60 @@ def chunked(items: Sequence[T], chunk_count: int) -> List[List[T]]:
         chunks.append(list(items[start : start + size]))
         start += size
     return chunks
+
+
+def plan_chunks(costs: Sequence[float], chunk_count: int) -> List[List[int]]:
+    """Partition item indices into contiguous chunks of near-equal *cost*.
+
+    ``chunked`` balances chunk length; this balances estimated work, so
+    a pool where item costs vary (e.g. destination ASes with very
+    different column counts) keeps every worker busy.  Boundaries sit
+    where the cumulative cost crosses each equal share — deterministic,
+    order-preserving, no empty chunks.
+    """
+    total_items = len(costs)
+    if total_items == 0:
+        return []
+    chunk_count = max(1, min(chunk_count, total_items))
+    cumulative = np.cumsum(np.maximum(np.asarray(costs, dtype=float), 0.0))
+    total = float(cumulative[-1])
+    if total <= 0.0:
+        return chunked(list(range(total_items)), chunk_count)
+    chunks: List[List[int]] = []
+    start = 0
+    for index in range(chunk_count):
+        if start >= total_items:
+            break
+        if index == chunk_count - 1:
+            end = total_items
+        else:
+            share = total * (index + 1) / chunk_count
+            end = int(np.searchsorted(cumulative, share, side="left")) + 1
+            end = max(end, start + 1)
+            # Leave at least one item per remaining chunk.
+            end = min(end, total_items - (chunk_count - index - 1))
+            end = max(end, start + 1)
+        chunks.append(list(range(start, end)))
+        start = end
+    return chunks
+
+
+def shared_ndarray(shape: Tuple[int, ...], dtype, fill=None) -> np.ndarray:
+    """A numpy array over anonymous shared memory (``MAP_SHARED``).
+
+    Fork children inherit the mapping, so writes made in pool workers
+    are visible to the parent without pickling results back — the
+    substrate's zero-copy output channel for parallel matrix assembly.
+    The mmap stays alive through the returned array's ``.base``.
+    """
+    dtype = np.dtype(dtype)
+    length = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+    buffer = mmap.mmap(-1, max(1, length))
+    array = np.frombuffer(buffer, dtype=dtype, count=int(np.prod(shape, dtype=np.int64)))
+    array = array.reshape(shape)
+    if fill is not None:
+        array[...] = fill
+    return array
 
 
 def run_forked(worker, chunks: Iterable[Sequence], processes: int) -> List:

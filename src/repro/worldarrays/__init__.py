@@ -1,0 +1,48 @@
+"""Flat, int-indexed world representation for the substrate hot paths.
+
+The object world (:class:`~repro.topology.clustering.ClusterIndex`,
+:class:`~repro.bgp.asgraph.ASGraph`, per-pair python walks) is the
+*reference* implementation everywhere; this package exports the same
+world once into contiguous numpy arrays and rewrites the two hottest
+computations against them:
+
+- :mod:`repro.worldarrays.matrixfill` — delegate-matrix assembly as
+  vectorized per-destination column fills (the memoized next-hop chain
+  walk becomes a level-ordered array scan, the per-row python loop a
+  single gather);
+- :mod:`repro.worldarrays.closesets` — ``construct-close-cluster-set``
+  as a vectorized valley-free BFS over int frontiers, with a batch API
+  that builds the sets of many source clusters in one sweep.
+
+Both are guarded by parity tests: for identical seeds they produce
+**bit-identical** results to the object-path reference (same matrices,
+same close sets, same ``traces.jsonl``).  The flat path is the default;
+set ``REPRO_FLAT_WORLD=0`` to force the object reference everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.worldarrays.arrays import GraphCSR, WorldArrays, csr_gather
+from repro.worldarrays.closesets import FlatCloseSetBuilder
+from repro.worldarrays.matrixfill import FlatMatrixAssembler
+
+__all__ = [
+    "FLAT_WORLD_ENV",
+    "FlatCloseSetBuilder",
+    "FlatMatrixAssembler",
+    "GraphCSR",
+    "WorldArrays",
+    "csr_gather",
+    "flat_enabled",
+]
+
+#: Environment switch for the flat-array substrate (default on; the
+#: object path remains the reference and is selected with ``0``).
+FLAT_WORLD_ENV = "REPRO_FLAT_WORLD"
+
+
+def flat_enabled() -> bool:
+    """Whether the flat-array hot paths are enabled (default: yes)."""
+    return os.environ.get(FLAT_WORLD_ENV, "1").strip() not in ("0", "no", "off")

@@ -33,8 +33,8 @@ from repro.scenario import (
 )
 from repro.storage import SCHEMA_VERSION, ScenarioCache, scenario_cache_key
 from repro.storage.cache import CACHE_DIR_ENV, resolve_cache_dir
-from repro.util import chunked, resolve_workers
-from repro.util.parallel import WORKERS_ENV
+from repro.util import chunked, plan_chunks, resolve_workers, shared_ndarray
+from repro.util.parallel import WORKERS_ENV, run_forked
 
 
 @pytest.fixture(scope="module")
@@ -79,6 +79,91 @@ class TestChunked:
         assert chunked([], 4) == []
 
 
+class TestPlanChunks:
+    def test_covers_all_items_in_order(self):
+        costs = [5.0, 1.0, 1.0, 1.0, 9.0, 2.0, 2.0]
+        chunks = plan_chunks(costs, 3)
+        assert [i for chunk in chunks for i in chunk] == list(range(len(costs)))
+        assert all(chunks)
+
+    def test_balances_cost_not_length(self):
+        # One huge item followed by many tiny ones: length-balanced
+        # chunking would put the huge item with a third of the tail;
+        # cost-balanced chunking isolates it.
+        costs = [90.0] + [1.0] * 9
+        chunks = plan_chunks(costs, 3)
+        assert chunks[0] == [0]
+
+    def test_bounded_imbalance(self):
+        rng = np.random.default_rng(2)
+        costs = rng.uniform(0.5, 20.0, 97)
+        chunk_count = 8
+        chunks = plan_chunks(list(costs), chunk_count)
+        total = float(costs.sum())
+        worst = max(float(costs[chunk].sum()) for chunk in chunks)
+        # No chunk exceeds its fair share by more than one item's cost.
+        assert worst <= total / chunk_count + float(costs.max())
+
+    def test_more_chunks_than_items(self):
+        chunks = plan_chunks([1.0, 1.0], 8)
+        assert chunks == [[0], [1]]
+
+    def test_zero_total_cost_falls_back_to_length_balance(self):
+        assert plan_chunks([0.0] * 6, 3) == chunked(list(range(6)), 3)
+
+    def test_empty_input(self):
+        assert plan_chunks([], 4) == []
+
+    def test_deterministic(self):
+        costs = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]
+        assert plan_chunks(costs, 3) == plan_chunks(costs, 3)
+
+
+def _stamp_shared(indices):
+    """Pool worker: write into the inherited shared array (no return)."""
+    array = _SHARED_TARGET[0]
+    for i in indices:
+        array[i] = i * 10.0
+    return len(indices)
+
+
+_SHARED_TARGET = [None]
+
+
+class TestSharedNdarray:
+    def test_shape_dtype_fill(self):
+        array = shared_ndarray((3, 4), np.float64, fill=2.5)
+        assert array.shape == (3, 4)
+        assert array.dtype == np.float64
+        assert np.all(array == 2.5)
+
+    def test_backed_by_shared_mmap(self):
+        import mmap as mmap_module
+
+        array = shared_ndarray((2, 2), np.int32)
+        base = array
+        while base is not None and not isinstance(base, mmap_module.mmap):
+            if isinstance(base, memoryview):
+                base = base.obj
+            else:
+                base = getattr(base, "base", None)
+        assert isinstance(base, mmap_module.mmap)
+
+    def test_fork_children_write_through(self):
+        if not hasattr(os, "fork"):
+            pytest.skip("fork unavailable")
+        array = shared_ndarray((8,), np.float64, fill=-1.0)
+        _SHARED_TARGET[0] = array
+        try:
+            counts = run_forked(
+                _stamp_shared, [[0, 1, 2, 3], [4, 5, 6, 7]], processes=2
+            )
+        finally:
+            _SHARED_TARGET[0] = None
+        assert counts == [4, 4]
+        assert np.array_equal(array, np.arange(8) * 10.0)
+
+
 # -- parallel parity -----------------------------------------------------------
 
 
@@ -99,6 +184,27 @@ class TestMatrixParallelParity:
         world = build_scenario(dataclasses.replace(tiny_config(11), workers=2))
         reference = tiny_scenario(seed=11)
         assert np.array_equal(world.matrices.rtt_ms, reference.matrices.rtt_ms)
+
+    def test_method_knob_selects_path(self, scenario):
+        flat = compute_delegate_matrices(
+            scenario.latency, scenario.clusters, method="flat"
+        )
+        obj = compute_delegate_matrices(
+            scenario.latency, scenario.clusters, method="object"
+        )
+        assert np.array_equal(flat.rtt_ms, obj.rtt_ms)
+        assert np.array_equal(flat.loss, obj.loss)
+
+    def test_parallel_run_records_chunk_stats(self, scenario):
+        from repro.measurement import matrix as matrix_module
+
+        compute_delegate_matrices(scenario.latency, scenario.clusters, workers=2)
+        stats = matrix_module.LAST_PARALLEL_STATS
+        assert stats is not None
+        assert stats["workers"] == 2
+        assert sum(stats["chunk_sizes"]) == scenario.matrices.count
+        assert len(stats["chunk_seconds"]) == len(stats["chunk_sizes"])
+        assert all(s >= 0.0 for s in stats["chunk_seconds"])
 
 
 class TestCloseSetPrebuildParity:

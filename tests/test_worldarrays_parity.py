@@ -1,0 +1,192 @@
+"""Flat-array substrate parity: bit-identical to the object reference.
+
+The ``repro.worldarrays`` fast paths are *substitutes*, not
+approximations: for the same scenario they must reproduce the object
+paths bit for bit — every matrix cell (IEEE-exact), every close-set
+entry, every probe count, and every observability record, across
+seeds, scales, serial and parallel execution, with fault injection
+running and tracing on.  These tests are the contract that lets the
+flat paths be the default.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.core import ASAPConfig, ASAPSystem
+from repro.evaluation.chaos import run_chaos
+from repro.faults import FaultScheduleConfig
+from repro.measurement.matrix import compute_delegate_matrices
+from repro.scenario import ScenarioConfig, build_scenario, tiny_config, tiny_scenario
+from repro.scenario import PopulationConfig, TopologyConfig
+from repro.worldarrays import FLAT_WORLD_ENV, flat_enabled
+
+SEEDS = (3, 11, 29)
+
+
+def _medium_scenario(seed: int):
+    """A second scale tier: ~2x the tiny world in every dimension."""
+    config = dataclasses.replace(
+        tiny_config(seed),
+        topology=TopologyConfig(
+            tier1_count=4, tier2_count=16, tier3_count=80, seed=seed
+        ),
+        population=PopulationConfig(host_count=900, seed=seed),
+        vantage_count=6,
+    )
+    return build_scenario(config)
+
+
+@pytest.fixture(scope="module")
+def scenarios():
+    return [tiny_scenario(seed=s) for s in SEEDS] + [_medium_scenario(17)]
+
+
+def _assert_matrices_identical(a, b):
+    assert np.array_equal(a.rtt_ms, b.rtt_ms)
+    assert np.array_equal(a.loss, b.loss)
+    assert np.array_equal(a.as_hops, b.as_hops)
+    assert a.prefixes == b.prefixes
+
+
+class TestFlatDefault:
+    def test_flat_is_the_default(self, monkeypatch):
+        monkeypatch.delenv(FLAT_WORLD_ENV, raising=False)
+        assert flat_enabled()
+
+    def test_env_opts_out(self, monkeypatch):
+        for value in ("0", "no", "off"):
+            monkeypatch.setenv(FLAT_WORLD_ENV, value)
+            assert not flat_enabled()
+        monkeypatch.setenv(FLAT_WORLD_ENV, "1")
+        assert flat_enabled()
+
+
+class TestMatrixParity:
+    def test_flat_serial_bit_identical_across_seeds_and_scales(self, scenarios):
+        for scenario in scenarios:
+            flat = compute_delegate_matrices(
+                scenario.latency, scenario.clusters, method="flat"
+            )
+            obj = compute_delegate_matrices(
+                scenario.latency, scenario.clusters, method="object"
+            )
+            _assert_matrices_identical(flat, obj)
+
+    def test_flat_parallel_bit_identical_to_object_serial(self, scenarios):
+        scenario = scenarios[0]
+        reference = compute_delegate_matrices(
+            scenario.latency, scenario.clusters, method="object"
+        )
+        for workers in (2, 3):
+            parallel = compute_delegate_matrices(
+                scenario.latency, scenario.clusters, workers=workers, method="flat"
+            )
+            _assert_matrices_identical(parallel, reference)
+
+    def test_object_parallel_still_bit_identical(self, scenarios):
+        scenario = scenarios[1]
+        reference = compute_delegate_matrices(
+            scenario.latency, scenario.clusters, method="object"
+        )
+        parallel = compute_delegate_matrices(
+            scenario.latency, scenario.clusters, workers=2, method="object"
+        )
+        _assert_matrices_identical(parallel, reference)
+
+    def test_unknown_method_rejected(self, scenarios):
+        from repro.errors import MeasurementError
+
+        scenario = scenarios[0]
+        with pytest.raises(MeasurementError):
+            compute_delegate_matrices(
+                scenario.latency, scenario.clusters, method="sparse"
+            )
+
+
+def _close_sets(scenario, flat: bool, monkeypatch, workers: int = 1):
+    monkeypatch.setenv(FLAT_WORLD_ENV, "1" if flat else "0")
+    system = ASAPSystem(scenario, ASAPConfig())
+    return system.prebuild_close_sets(workers=workers)
+
+
+def _assert_close_sets_identical(flat_sets, obj_sets):
+    assert set(flat_sets) == set(obj_sets)
+    for idx in obj_sets:
+        flat, obj = flat_sets[idx], obj_sets[idx]
+        assert flat.owner == obj.owner
+        assert flat.probe_messages == obj.probe_messages
+        assert flat.ases_visited == obj.ases_visited
+        assert dict(flat.probes_by_as) == dict(obj.probes_by_as)
+        assert set(flat.entries) == set(obj.entries)
+        for cluster, entry in obj.entries.items():
+            got = flat.entries[cluster]
+            assert got.rtt_ms == entry.rtt_ms        # bitwise: no approx
+            assert got.loss == entry.loss
+            assert got.as_hops == entry.as_hops
+
+
+class TestCloseSetParity:
+    def test_bit_identical_across_seeds_and_scales(self, scenarios, monkeypatch):
+        for scenario in scenarios:
+            _assert_close_sets_identical(
+                _close_sets(scenario, flat=True, monkeypatch=monkeypatch),
+                _close_sets(scenario, flat=False, monkeypatch=monkeypatch),
+            )
+
+    def test_parallel_prebuild_parity(self, scenarios, monkeypatch):
+        scenario = scenarios[0]
+        _assert_close_sets_identical(
+            _close_sets(scenario, flat=True, monkeypatch=monkeypatch, workers=2),
+            _close_sets(scenario, flat=False, monkeypatch=monkeypatch, workers=1),
+        )
+
+
+class TestObservabilityParity:
+    """Tracing on: the two paths must write byte-identical traces.jsonl."""
+
+    def _trace_bytes(self, scenario, flat, tmp_path, monkeypatch):
+        monkeypatch.setenv(FLAT_WORLD_ENV, "1" if flat else "0")
+        obs_dir = tmp_path / ("flat" if flat else "object")
+        with obs.observe(obs_dir=obs_dir, trace=True) as run:
+            system = ASAPSystem(scenario, ASAPConfig())
+            system.prebuild_close_sets(workers=1)
+            columns = run.registry.snapshot()["counters"].get("matrix.columns", 0)
+        return (obs_dir / "traces.jsonl").read_bytes(), columns
+
+    def test_traces_byte_identical(self, scenarios, tmp_path, monkeypatch):
+        scenario = scenarios[0]
+        flat_trace, flat_cols = self._trace_bytes(
+            scenario, True, tmp_path, monkeypatch
+        )
+        obj_trace, obj_cols = self._trace_bytes(
+            scenario, False, tmp_path, monkeypatch
+        )
+        assert flat_trace == obj_trace
+        assert flat_trace  # non-empty: the spans were actually emitted
+        assert flat_cols == obj_cols
+
+
+class TestChaosParity:
+    """Faults enabled: a chaos run is replay-identical under both paths."""
+
+    @pytest.mark.parametrize("seed", [0, 4])
+    def test_chaos_run_identical(self, scenarios, monkeypatch, seed):
+        scenario = scenarios[0]
+        fault_config = FaultScheduleConfig(
+            duration_ms=20_000.0,
+            surrogate_crash_rate_per_min=6.0,
+            host_churn_rate_per_min=6.0,
+            message_loss_rate=0.05,
+            seed=seed,
+        )
+        results = {}
+        for flat in (True, False):
+            monkeypatch.setenv(FLAT_WORLD_ENV, "1" if flat else "0")
+            results[flat] = run_chaos(
+                scenario, fault_config, sessions=12, joins=12, seed=seed
+            )
+        assert results[True].to_dict() == results[False].to_dict()
+        assert results[True].fault_log == results[False].fault_log
