@@ -18,7 +18,7 @@ import pytest
 from repro.evaluation.section5 import run_section5
 from repro.evaluation.section7 import run_section7
 from repro.evaluation.sessions import generate_workload
-from repro.scenario import build_scenario, evaluation_config
+from repro.scenario import ScenarioConfig, build_scenario
 from repro.storage.cache import CACHE_DIR_ENV
 
 #: Benchmark workload scale (the paper used 100,000 sessions / ~1,000
@@ -38,7 +38,9 @@ DEFAULT_CACHE_DIR = Path(__file__).parent / ".scenario-cache"
 def eval_scenario():
     cache_dir = os.environ.get(CACHE_DIR_ENV, "").strip() or str(DEFAULT_CACHE_DIR)
     return build_scenario(
-        dataclasses.replace(evaluation_config(seed=0), cache_dir=cache_dir)
+        dataclasses.replace(
+            ScenarioConfig.preset("evaluation", seed=0), cache_dir=cache_dir
+        )
     )
 
 

@@ -32,7 +32,7 @@ def test_ext_relay_load(benchmark, eval_scenario):
         service = RelayAssignmentService(
             eval_scenario.clusters, eval_scenario.matrices, seed=13
         )
-        dedi = DEDIMethod(eval_scenario.matrices, eval_scenario.topology.graph, BaselineConfig())
+        dedi = DEDIMethod(eval_scenario.topology.graph, BaselineConfig())
         dedi_load: Counter = Counter()
         assigned = 0
         for sid, session in enumerate(latent):
@@ -42,7 +42,7 @@ def test_ext_relay_load(benchmark, eval_scenario):
                     assigned += 1
             # DEDI: the session goes through its best dedicated node.
             rtt = eval_scenario.matrices.rtt_ms
-            fleet = dedi.fleet
+            fleet = dedi.fleet_for(eval_scenario.matrices)
             paths = [
                 (float(rtt[session.caller_cluster, c] + rtt[c, session.callee_cluster]), c)
                 for c in fleet

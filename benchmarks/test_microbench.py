@@ -130,7 +130,7 @@ def test_bench_matrix_parallel_vs_serial(eval_scenario):
     assert np.array_equal(serial.as_hops, parallel.as_hops)
 
     # The run leaves its chunk plan behind for the scale benchmarks.
-    stats = matrix_module.LAST_PARALLEL_STATS
+    stats = matrix_module.last_parallel_stats()
     assert stats is not None
     assert sum(stats["chunk_sizes"]) == serial.count
 
@@ -150,14 +150,15 @@ def test_bench_batch_session_eval(benchmark, eval_scenario, workload):
     latent = workload.latent(300.0)
     pairs = [(s.caller_cluster, s.callee_cluster) for s in latent]
     session_ids = [s.session_id for s in latent]
-    engine = DEDIMethod(
-        eval_scenario.matrices, eval_scenario.topology.graph, BaselineConfig()
+    matrices = eval_scenario.matrices
+    engine = DEDIMethod(eval_scenario.topology.graph, BaselineConfig())
+    results = benchmark(
+        lambda: engine.evaluate_sessions(matrices, pairs, session_ids=session_ids)
     )
-    results = benchmark(lambda: engine.evaluate_sessions(pairs, session_ids))
     assert len(results) == len(pairs)
     # Parity with the per-session reference loop on a spot-checked slice.
     for k in (0, len(pairs) // 2, len(pairs) - 1):
-        loop = engine.evaluate_session(*pairs[k], session_ids[k])
+        loop = engine.evaluate_session(matrices, *pairs[k], session_ids[k])
         assert results[k].quality_paths == loop.quality_paths
         assert results[k].best_rtt_ms == loop.best_rtt_ms
 

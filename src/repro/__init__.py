@@ -27,9 +27,11 @@ from repro.scenario import (
     tiny_scenario,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "Experiment",
+    "ExperimentConfig",
     "SCALES",
     "Scenario",
     "ScenarioConfig",
@@ -37,7 +39,20 @@ __all__ = [
     "config_for_scale",
     "default_scenario",
     "evaluation_config",
+    "run_experiment",
     "small_scenario",
     "tiny_scenario",
     "__version__",
 ]
+
+#: Experiment-engine names resolved lazily so ``import repro`` stays
+#: light (the evaluation stack pulls in every protocol layer).
+_LAZY_EVALUATION = ("Experiment", "ExperimentConfig", "run_experiment")
+
+
+def __getattr__(name: str):
+    if name in _LAZY_EVALUATION:
+        from repro import evaluation
+
+        return getattr(evaluation, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,4 +1,20 @@
-"""Shared machinery for relay-selection baselines."""
+"""Shared machinery for relay-selection baselines.
+
+The single batch-evaluation signature every policy implements:
+
+    evaluate_sessions(world, sessions, *, session_ids=None, columns=None)
+
+``world`` is the matrix read surface — dense
+:class:`~repro.measurement.matrix.DelegateMatrices` or the streamed
+:class:`~repro.worldarrays.virtual.VirtualMatrices` view, both exposing
+the same cell/gather/block protocol.  ``sessions`` accepts plain
+``(caller_cluster, callee_cluster)`` tuples or
+:class:`~repro.evaluation.sessions.Session` objects (whose
+``session_id`` then namespaces per-session RNG draws).  Methods are
+constructed *without* a world: the same policy instance evaluates any
+world at any scale, which is what lets one experiment engine serve
+every tier.
+"""
 
 from __future__ import annotations
 
@@ -16,7 +32,6 @@ from typing import (
 import numpy as np
 
 from repro.errors import ConfigurationError
-from repro.measurement.matrix import DelegateMatrices
 from repro.util.rng import derive_rng
 
 
@@ -60,29 +75,54 @@ class MethodResult:
     one_hop_quality_paths: Optional[int] = None
 
 
+def session_batch(
+    sessions: Sequence, session_ids: Optional[Sequence[int]] = None
+) -> Tuple[List[Tuple[int, int]], List[int]]:
+    """Normalize a session batch to ``(pairs, ids)``.
+
+    ``sessions`` may mix ``(a, b)`` tuples with ``Session`` objects; ids
+    come from the objects' ``session_id``, the explicit ``session_ids``
+    sequence, or enumeration order, in that priority.
+    """
+    pairs: List[Tuple[int, int]] = []
+    ids: List[int] = []
+    for index, item in enumerate(sessions):
+        if hasattr(item, "caller_cluster"):
+            pairs.append((int(item.caller_cluster), int(item.callee_cluster)))
+            ids.append(int(item.session_id))
+        else:
+            a, b = item
+            pairs.append((int(a), int(b)))
+            ids.append(int(session_ids[index]) if session_ids is not None else index)
+    if session_ids is not None and len(session_ids) != len(pairs):
+        raise ConfigurationError("session_ids must match sessions in length")
+    return pairs, ids
+
+
 @runtime_checkable
 class RelayPolicy(Protocol):
-    """Anything Section 7 can evaluate over a batch of cluster pairs.
+    """Anything Section 7 can evaluate over a batch of sessions.
 
     A policy has a ``name`` (the method label in records and tables) and
-    one primitive, ``evaluate_sessions``: given the caller/callee cluster
-    index pairs of a session batch (plus optional per-session ids for
-    deterministic RNG namespacing), return one :class:`MethodResult` per
-    pair, in order.  The probing baselines (:class:`RelayMethod`
-    subclasses) and the ASAP adapter
-    (:class:`repro.evaluation.policies.ASAPPolicy`) both satisfy it, so
-    experiment runners iterate an arbitrary policy list instead of
-    hard-coding per-method branches.
+    one primitive, ``evaluate_sessions``: given a world view and the
+    session batch, return one :class:`MethodResult` per session, in
+    order.  The probing baselines (:class:`RelayMethod` subclasses) and
+    the ASAP adapter (:class:`repro.evaluation.policies.ASAPPolicy`)
+    both satisfy it, so experiment runners iterate an arbitrary policy
+    list instead of hard-coding per-method branches.
     """
 
     name: str
 
     def evaluate_sessions(
         self,
-        pairs: Sequence[Tuple[int, int]],
+        world,
+        sessions: Sequence,
+        *,
         session_ids: Optional[Sequence[int]] = None,
+        columns=None,
     ) -> List[MethodResult]:
-        """One result per ``(caller_cluster, callee_cluster)`` pair."""
+        """One result per session of the batch."""
         ...
 
 
@@ -92,36 +132,40 @@ class RelayMethod(ABC):
     The batch :meth:`evaluate_sessions` is the abstract primitive —
     subclasses implement it (vectorized where possible); the per-session
     :meth:`evaluate_session` is a thin delegating wrapper over it.
+
+    The ``columns`` keyword is reserved for callers that pre-assembled
+    destination columns; the shipped views manage column caching (memo
+    LRU or spill store) internally, so methods may ignore it.
     """
 
     name: str = "abstract"
 
-    def __init__(
-        self, matrices: DelegateMatrices, config: Optional[BaselineConfig] = None
-    ) -> None:
-        self._matrices = matrices
+    def __init__(self, config: Optional[BaselineConfig] = None) -> None:
         self._config = config if config is not None else BaselineConfig()
-
-    @property
-    def matrices(self) -> DelegateMatrices:
-        return self._matrices
 
     @property
     def config(self) -> BaselineConfig:
         return self._config
 
-    def evaluate_session(self, a: int, b: int, session_id: int = 0) -> MethodResult:
+    def evaluate_session(
+        self, world, a: int, b: int, session_id: int = 0
+    ) -> MethodResult:
         """Evaluate one calling session between clusters ``a`` and ``b``
         (delegates to the batch primitive)."""
-        return self.evaluate_sessions([(int(a), int(b))], [int(session_id)])[0]
+        return self.evaluate_sessions(
+            world, [(int(a), int(b))], session_ids=[int(session_id)]
+        )[0]
 
     @abstractmethod
     def evaluate_sessions(
         self,
-        pairs: Sequence[Tuple[int, int]],
+        world,
+        sessions: Sequence,
+        *,
         session_ids: Optional[Sequence[int]] = None,
+        columns=None,
     ) -> List[MethodResult]:
-        """Evaluate a batch of sessions, one result per ``(a, b)`` pair."""
+        """Evaluate a batch of sessions, one result per session."""
 
     @staticmethod
     def _pair_arrays(pairs: Sequence[Tuple[int, int]]) -> Tuple[np.ndarray, np.ndarray]:
@@ -131,7 +175,7 @@ class RelayMethod(ABC):
         return a, b
 
     def _score_probes(
-        self, a: int, b: int, relay_clusters: Sequence[int]
+        self, world, a: int, b: int, relay_clusters: Sequence[int]
     ) -> Tuple[int, Optional[float]]:
         """Count quality relay paths / best RTT over probed relay nodes.
 
@@ -141,8 +185,11 @@ class RelayMethod(ABC):
         if len(relay_clusters) == 0:
             return 0, None
         relays = np.asarray(relay_clusters, dtype=int)
-        rtt = self._matrices.rtt_ms
-        path = rtt[a, relays] + rtt[relays, b] + self._config.relay_delay_rtt_ms
+        path = (
+            world.gather_rtt(a, relays)
+            + world.gather_rtt(relays, b)
+            + self._config.relay_delay_rtt_ms
+        )
         finite = np.isfinite(path)
         quality = int(np.sum(finite & (path < self._config.lat_threshold_ms)))
         best = float(np.min(path[finite])) if np.any(finite) else None

@@ -11,13 +11,12 @@ population, which is exactly why DEDI fails the paper's scalability test
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.baselines.base import BaselineConfig, MethodResult, RelayMethod
+from repro.baselines.base import BaselineConfig, MethodResult, RelayMethod, session_batch
 from repro.bgp.asgraph import ASGraph
-from repro.measurement.matrix import DelegateMatrices
 
 
 class DEDIMethod(RelayMethod):
@@ -27,39 +26,49 @@ class DEDIMethod(RelayMethod):
 
     def __init__(
         self,
-        matrices: DelegateMatrices,
         graph: ASGraph,
         config: Optional[BaselineConfig] = None,
         fleet_size: Optional[int] = None,
     ) -> None:
-        super().__init__(matrices, config)
-        size = self._config.dedicated_count if fleet_size is None else fleet_size
-        self._fleet = _top_degree_clusters(matrices, graph, size)
+        super().__init__(config)
+        self._graph = graph
+        self._fleet_size = (
+            self._config.dedicated_count if fleet_size is None else fleet_size
+        )
+        # The fleet depends on the evaluated world's cluster headers, so
+        # it is ranked lazily on first use and cached per world identity.
+        self._fleet_world: Optional[int] = None
+        self._fleet: List[int] = []
 
-    @property
-    def fleet(self) -> List[int]:
-        """Cluster indices hosting the dedicated relay nodes."""
+    def fleet_for(self, world) -> List[int]:
+        """Cluster indices hosting the dedicated relay nodes in ``world``."""
+        if self._fleet_world != id(world):
+            self._fleet = _top_degree_clusters(world, self._graph, self._fleet_size)
+            self._fleet_world = id(world)
         return list(self._fleet)
 
     def evaluate_sessions(
         self,
-        pairs: Sequence[Tuple[int, int]],
+        world,
+        sessions: Sequence,
+        *,
         session_ids: Optional[Sequence[int]] = None,
+        columns=None,
     ) -> List[MethodResult]:
         """Vectorized batch evaluation: the fixed fleet makes all
-        sessions' probe scores one pair of fancy-indexing operations."""
+        sessions' probe scores one pair of gather operations."""
+        pairs, _ = session_batch(sessions, session_ids)
         if len(pairs) == 0:
             return []
-        fleet = np.asarray(self._fleet, dtype=np.int64)
+        fleet = np.asarray(self.fleet_for(world), dtype=np.int64)
         if fleet.size == 0:
             return [
                 MethodResult(self.name, 0, None, 0, 0) for _ in range(len(pairs))
             ]
         a_arr, b_arr = self._pair_arrays(pairs)
-        rtt = self._matrices.rtt_ms
         path = (
-            rtt[a_arr[:, None], fleet[None, :]]
-            + rtt[fleet[None, :], b_arr[:, None]]
+            world.gather_rtt(a_arr[:, None], fleet[None, :])
+            + world.gather_rtt(fleet[None, :], b_arr[:, None])
             + self._config.relay_delay_rtt_ms
         )
         excluded = (fleet[None, :] == a_arr[:, None]) | (fleet[None, :] == b_arr[:, None])
@@ -81,14 +90,12 @@ class DEDIMethod(RelayMethod):
         ]
 
 
-def _top_degree_clusters(
-    matrices: DelegateMatrices, graph: ASGraph, count: int
-) -> List[int]:
+def _top_degree_clusters(world, graph: ASGraph, count: int) -> List[int]:
     """Clusters ranked by their AS's connection degree, highest first."""
 
     def degree_of(idx: int) -> int:
-        asn = int(matrices.asn_of[idx])
+        asn = int(world.asn_of[idx])
         return graph.degree(asn) if asn in graph else 0
 
-    ranked = sorted(range(matrices.count), key=lambda i: (-degree_of(i), i))
+    ranked = sorted(range(world.count), key=lambda i: (-degree_of(i), i))
     return ranked[:count]

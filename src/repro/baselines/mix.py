@@ -7,13 +7,12 @@ Section 7.1's "MIX probes 160 nodes, including 40 dedicated nodes and
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.baselines.base import BaselineConfig, MethodResult, RelayMethod
 from repro.baselines.dedi import DEDIMethod
 from repro.baselines.rand import RANDMethod
 from repro.bgp.asgraph import ASGraph
-from repro.measurement.matrix import DelegateMatrices
 
 
 class MIXMethod(RelayMethod):
@@ -23,25 +22,27 @@ class MIXMethod(RelayMethod):
 
     def __init__(
         self,
-        matrices: DelegateMatrices,
         graph: ASGraph,
         config: Optional[BaselineConfig] = None,
     ) -> None:
-        super().__init__(matrices, config)
+        super().__init__(config)
         config = self._config
-        self._dedi = DEDIMethod(matrices, graph, config, fleet_size=config.mix_dedicated)
-        self._rand = RANDMethod(matrices, config, probes=config.mix_random)
+        self._dedi = DEDIMethod(graph, config, fleet_size=config.mix_dedicated)
+        self._rand = RANDMethod(config, probes=config.mix_random)
         # Share the RNG namespace with MIX so results differ from RAND's.
         self._rand.name = "MIX"
 
     def evaluate_sessions(
         self,
-        pairs: Sequence[Tuple[int, int]],
+        world,
+        sessions: Sequence,
+        *,
         session_ids: Optional[Sequence[int]] = None,
+        columns=None,
     ) -> List[MethodResult]:
         """Batch evaluation: both component batches, combined per session."""
-        dedi = self._dedi.evaluate_sessions(pairs, session_ids)
-        rand = self._rand.evaluate_sessions(pairs, session_ids)
+        dedi = self._dedi.evaluate_sessions(world, sessions, session_ids=session_ids)
+        rand = self._rand.evaluate_sessions(world, sessions, session_ids=session_ids)
         return [self._combine(d, r) for d, r in zip(dedi, rand)]
 
     def _combine(self, dedi: MethodResult, rand: MethodResult) -> MethodResult:

@@ -9,12 +9,11 @@ per-session overhead.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.baselines.base import BaselineConfig, MethodResult, RelayMethod
-from repro.measurement.matrix import DelegateMatrices
+from repro.baselines.base import BaselineConfig, MethodResult, RelayMethod, session_batch
 
 
 class RANDMethod(RelayMethod):
@@ -24,48 +23,48 @@ class RANDMethod(RelayMethod):
 
     def __init__(
         self,
-        matrices: DelegateMatrices,
         config: Optional[BaselineConfig] = None,
         probes: Optional[int] = None,
     ) -> None:
-        super().__init__(matrices, config)
+        super().__init__(config)
         self._probes = self._config.random_probes if probes is None else probes
-        # Node draws are weighted by cluster occupancy: probing a random
-        # *peer* lands in a cluster with probability ∝ its population.
-        sizes = matrices.sizes.astype(float)
-        total = sizes.sum()
-        self._weights = sizes / total if total > 0 else None
 
     def evaluate_sessions(
         self,
-        pairs: Sequence[Tuple[int, int]],
+        world,
+        sessions: Sequence,
+        *,
         session_ids: Optional[Sequence[int]] = None,
+        columns=None,
     ) -> List[MethodResult]:
         """Vectorized batch evaluation.
 
         The per-session RNG draws are kept in a (cheap) Python loop so
         each session's probe set matches :meth:`evaluate_session` draw
-        for draw; all scoring is then two fancy-indexing operations.
+        for draw; all scoring is then two gather operations.
         """
+        pairs, ids = session_batch(sessions, session_ids)
         if len(pairs) == 0:
             return []
-        if session_ids is None:
-            session_ids = range(len(pairs))
-        n = self._matrices.count
-        if self._weights is None or n == 0 or self._probes == 0:
+        n = world.count
+        # Node draws are weighted by cluster occupancy: probing a random
+        # *peer* lands in a cluster with probability ∝ its population.
+        sizes = world.sizes.astype(float)
+        total = sizes.sum()
+        weights = sizes / total if total > 0 else None
+        if weights is None or n == 0 or self._probes == 0:
             return [
                 MethodResult(self.name, 0, None, 0, 0) for _ in range(len(pairs))
             ]
         draws = np.empty((len(pairs), self._probes), dtype=np.int64)
-        for k, sid in zip(range(len(pairs)), session_ids):
+        for k, sid in zip(range(len(pairs)), ids):
             rng = self._session_rng(int(sid))
-            draws[k] = rng.choice(n, size=self._probes, replace=True, p=self._weights)
+            draws[k] = rng.choice(n, size=self._probes, replace=True, p=weights)
         a_arr, b_arr = self._pair_arrays(pairs)
         valid = (draws != a_arr[:, None]) & (draws != b_arr[:, None])
-        rtt = self._matrices.rtt_ms
         path = (
-            rtt[a_arr[:, None], draws]
-            + rtt[draws, b_arr[:, None]]
+            world.gather_rtt(a_arr[:, None], draws)
+            + world.gather_rtt(draws, b_arr[:, None])
             + self._config.relay_delay_rtt_ms
         )
         path[~valid] = np.inf

@@ -7,6 +7,9 @@ Commands mirror the paper's workflow:
 - ``section3``   the measurement-foundation experiment (Figs. 2-3);
 - ``section5``   the 14-session Skype study (Tables 1-2, Figs. 6-7);
 - ``section7``   ASAP vs baselines on latent sessions (Figs. 11-16, 18);
+- ``experiment`` the unified experiment engine — section7 on the dense
+                 or streamed substrate at any tier, with stage timings,
+                 peak-RSS accounting and BENCH_e2e.json emission;
 - ``scalability``the two-population experiment (Fig. 17);
 - ``call``       one ASAP call on the worst direct pair (or an explicit
                  ``--src``/``--dst`` host pair), verbosely;
@@ -186,6 +189,49 @@ def cmd_section7(args: argparse.Namespace) -> int:
         rows = [r for records in result.records.values() for r in records]
         save_records_csv(args.records, rows)
         print(f"wrote {len(rows)} records to {args.records}")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.evaluation.engine import ExperimentConfig, run_experiment
+    from repro.evaluation.policies import METHOD_NAMES
+    from repro.evaluation.report import render_method_table
+
+    if args.policies:
+        methods = tuple(p.strip().upper() for p in args.policies.split(",") if p.strip())
+    else:
+        methods = METHOD_NAMES
+    config = ExperimentConfig(
+        scale=args.scale,
+        seed=args.seed,
+        session_count=args.sessions,
+        latent_target=args.latent,
+        max_latent_sessions=args.latent,
+        methods=methods,
+        stream=args.stream,
+        spill_dir=args.spill_dir,
+        chunk_columns=args.chunk_columns,
+    )
+    report = run_experiment(config)
+    substrate = "streamed" if report.streamed else "dense"
+    print(
+        f"experiment: scale={args.scale} substrate={substrate} "
+        f"population={report.population} clusters={report.clusters}"
+    )
+    stages = " ".join(f"{k}={v:.2f}s" for k, v in report.stage_seconds.items())
+    print(f"stages: {stages}")
+    print(f"peak RSS: {report.peak_rss_kb} KiB "
+          f"(dense matrices would need {report.dense_bytes // (1024 * 1024)} MiB)")
+    if report.spill is not None:
+        print(f"spill: {report.spill['chunks']}/{report.spill['chunk_total']} chunks, "
+              f"{report.spill['bytes'] // (1024 * 1024)} MiB "
+              f"({'ephemeral' if report.spill['ephemeral'] else report.spill['dir']})")
+    print(f"latent sessions: {len(report.result.latent_sessions)} "
+          f"(derived k = {report.derived_k_hops})")
+    print(render_method_table(report.result.summaries()))
+    if args.bench_out:
+        path = report.write_bench(args.bench_out)
+        print(f"wrote e2e bench document: {path}")
     return 0
 
 
@@ -672,6 +718,27 @@ def make_parser() -> argparse.ArgumentParser:
     p.add_argument("--sessions", type=int, default=2000)
     p.add_argument("--latent", type=int, default=60)
     p.add_argument("--records", help="write per-session records CSV here")
+
+    p = _subcommand(sub, "experiment", cmd_experiment,
+                    "unified Section-7 experiment engine (streamed or "
+                    "dense substrate, any tier)")
+    p.add_argument("--sessions", type=int, default=2000)
+    p.add_argument("--latent", type=int, default=60)
+    p.add_argument("--policies", metavar="P1,P2,...",
+                   help="comma-separated method roster "
+                        "(default: DEDI,RAND,MIX,ASAP,OPT)")
+    p.add_argument("--stream", action=argparse.BooleanOptionalAction,
+                   default=None,
+                   help="force the streamed (--stream) or dense "
+                        "(--no-stream) substrate; default: streamed for "
+                        "100k/1m, dense otherwise")
+    p.add_argument("--spill-dir", default=None, metavar="DIR",
+                   help="persistent column-store directory (resumable); "
+                        "default: ephemeral temp dir, removed after the run")
+    p.add_argument("--chunk-columns", type=int, default=256, metavar="C",
+                   help="columns per spilled chunk (default: 256)")
+    p.add_argument("--bench-out", metavar="PATH",
+                   help="write the BENCH_e2e.json document here")
 
     p = _subcommand(sub, "scalability", cmd_scalability,
                     "two-population experiment (Fig. 17)")

@@ -74,7 +74,16 @@ def derive_k_hops(
     90th percentile of AS hop counts among sub-threshold paths.  Our
     generated topologies have slightly longer AS paths than the 2005
     Internet, so this typically yields 5-6.
+
+    Accepts dense :class:`~repro.measurement.matrix.DelegateMatrices`
+    (the verbatim reference computation) or any streamed view exposing
+    ``iter_column_blocks`` without dense arrays — hop counts are then
+    folded into a histogram block by block and the percentile is
+    computed over it, value-identical to ``np.percentile`` on the
+    materialized hop multiset.
     """
+    if not hasattr(matrices, "rtt_ms"):
+        return _derive_k_hops_streamed(matrices, threshold_ms, quantile, minimum, maximum)
     mask = np.isfinite(matrices.rtt_ms) & (matrices.rtt_ms < threshold_ms)
     mask &= matrices.as_hops >= 0
     hops = matrices.as_hops[mask]
@@ -82,3 +91,50 @@ def derive_k_hops(
         return 4
     derived = int(np.percentile(hops, quantile))
     return max(minimum, min(maximum, derived))
+
+
+def _derive_k_hops_streamed(
+    view, threshold_ms: float, quantile: float, minimum: int, maximum: int
+) -> int:
+    """Hop-count percentile over a streamed view, one block at a time.
+
+    Hop values are tiny non-negative ints, so the full multiset folds
+    into a histogram; :func:`_percentile_from_histogram` then replicates
+    ``np.percentile``'s linear interpolation over it exactly.
+    """
+    counts = np.zeros(64, dtype=np.int64)
+    for _, rtt, _, hops in view.iter_column_blocks():
+        mask = np.isfinite(rtt) & (rtt < threshold_ms) & (hops >= 0)
+        values = hops[mask]
+        if values.size:
+            high = int(values.max())
+            if high >= len(counts):
+                counts = np.concatenate(
+                    [counts, np.zeros(high + 1 - len(counts), dtype=np.int64)]
+                )
+            counts += np.bincount(values, minlength=len(counts)).astype(np.int64)[
+                : len(counts)
+            ]
+    total = int(counts.sum())
+    if total == 0:
+        return 4
+    derived = int(_percentile_from_histogram(counts, total, quantile))
+    return max(minimum, min(maximum, derived))
+
+
+def _percentile_from_histogram(counts: np.ndarray, total: int, quantile: float) -> float:
+    """``np.percentile(values, quantile)`` (linear method) where
+    ``values`` is the sorted multiset described by ``counts`` — bitwise
+    the same float, including numpy's monotonic two-sided lerp."""
+    position = (total - 1) * quantile / 100.0
+    lo = int(np.floor(position))
+    hi = min(lo + 1, total - 1)
+    cumulative = np.cumsum(counts)
+    a = float(np.searchsorted(cumulative, lo, side="right"))
+    b = float(np.searchsorted(cumulative, hi, side="right"))
+    t = position - lo
+    delta = b - a
+    result = a + t * delta
+    if t >= 0.5:
+        result = b - delta * (1.0 - t)
+    return result

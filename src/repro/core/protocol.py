@@ -83,7 +83,7 @@ class ASAPSystem:
 
         self._scenario = scenario
         self._config = config = config if config is not None else ASAPConfig()
-        self._matrices = scenario.matrices
+        self._view = scenario.matrix_view()
         self._clusters = scenario.clusters
         self._flat_builder = None
         self._use_flat_close_sets = flat_enabled()
@@ -91,7 +91,7 @@ class ASAPSystem:
 
         # Cluster bookkeeping at matrix-index granularity.
         self._clusters_by_as: Dict[int, List[int]] = {}
-        for idx, asn in enumerate(self._matrices.asn_of):
+        for idx, asn in enumerate(self._view.asn_of):
             self._clusters_by_as.setdefault(int(asn), []).append(idx)
 
         # Elect surrogates: the most capable hosts per cluster.  Large
@@ -101,7 +101,7 @@ class ASAPSystem:
         surrogate_of_prefix: Dict = {}
         self._surrogates: Dict[int, List[Surrogate]] = {}
         for cluster in self._clusters.all_clusters():
-            idx = self._matrices.index_of[cluster.prefix]
+            idx = self._view.index_of[cluster.prefix]
             group = self._elect_group(idx, cluster)
             self._surrogates[idx] = group
             surrogate_of_prefix[cluster.prefix] = group[0].ip
@@ -139,8 +139,7 @@ class ASAPSystem:
 
             self._flat_builder = FlatCloseSetBuilder(
                 self._scenario.protocol_graph,
-                self._matrices.rtt_ms,
-                self._matrices.loss,
+                self._view,
                 self._clusters_by_as,
                 self._config,
             )
@@ -217,15 +216,15 @@ class ASAPSystem:
     def cluster_of_ip(self, ip: IPv4Address) -> int:
         """Matrix index of the cluster containing an end-host IP."""
         cluster = self._clusters.cluster_of(ip)
-        return self._matrices.index_of[cluster.prefix]
+        return self._view.index_of[cluster.prefix]
 
     def _probe_lat(self, own: int, other: int) -> Optional[float]:
-        value = float(self._matrices.rtt_ms[own, other])
+        value = self._view.rtt_cell(own, other)
         return None if not np.isfinite(value) else value
 
     def _probe_loss(self, own: int, other: int) -> Optional[float]:
-        value = float(self._matrices.loss[own, other])
-        rtt = float(self._matrices.rtt_ms[own, other])
+        value = self._view.loss_cell(own, other)
+        rtt = self._view.rtt_cell(own, other)
         return None if not np.isfinite(rtt) else value
 
     # -- membership -------------------------------------------------------------
@@ -247,12 +246,12 @@ class ASAPSystem:
         hosts out of the candidate accounting — a dark cluster offers
         zero relays, however attractive its measured paths.
         """
-        total = int(self._matrices.sizes[cluster_index])
+        total = int(self._view.sizes[cluster_index])
         return total - self._offline_in_cluster.get(cluster_index, 0)
 
     def online_hosts_in_cluster(self, cluster_index: int) -> List:
         """Online member hosts of a cluster, most capable first."""
-        cluster = self._clusters.clusters[self._matrices.prefixes[cluster_index]]
+        cluster = self._clusters.clusters[self._view.prefixes[cluster_index]]
         members = [h for h in cluster.hosts if h.ip not in self._offline]
         members.sort(key=lambda h: (-h.info.capability(), h.ip))
         return members
@@ -263,7 +262,7 @@ class ASAPSystem:
         host = self._scenario.population.by_ip(ip)
         endhost = EndHost(host=host)
         info = endhost.join(self._bootstraps)
-        idx = self._matrices.index_of[info.prefix]
+        idx = self._view.index_of[info.prefix]
         endhost.publish_nodal_info(self.surrogate(idx, requester=ip))
         self._endhosts[ip] = endhost
         return endhost
@@ -290,7 +289,7 @@ class ASAPSystem:
         group = self._surrogates[cluster_index]
         if all(member.ip != ip for member in group):
             return None
-        cluster = self._clusters.clusters[self._matrices.prefixes[cluster_index]]
+        cluster = self._clusters.clusters[self._view.prefixes[cluster_index]]
         remaining = [h for h in cluster.hosts if h.ip != ip and h.ip not in self._offline]
         if not remaining:
             return None  # cluster dark; stale surrogate entry remains
@@ -316,7 +315,7 @@ class ASAPSystem:
         member *is* the surrogate).
         """
         old = self.surrogate(cluster_index)
-        cluster = self._clusters.clusters[self._matrices.prefixes[cluster_index]]
+        cluster = self._clusters.clusters[self._view.prefixes[cluster_index]]
         remaining = [
             h
             for h in cluster.hosts
@@ -445,7 +444,7 @@ class ASAPSystem:
         callee_cluster = self.cluster_of_ip(callee_ip)
         self.sessions_run += 1
 
-        direct = float(self._matrices.rtt_ms[caller_cluster, callee_cluster])
+        direct = self._view.rtt_cell(caller_cluster, callee_cluster)
         session = ASAPSession(
             caller=caller_ip,
             callee=callee_ip,

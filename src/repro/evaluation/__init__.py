@@ -9,6 +9,9 @@
 - :mod:`repro.evaluation.policies` — every method behind the uniform
   :class:`~repro.baselines.base.RelayPolicy` surface (including the
   ASAP adapter) plus the default Section-7 roster.
+- :mod:`repro.evaluation.engine` — the unified
+  :class:`~repro.evaluation.engine.Experiment` runner (dense or
+  streamed substrate, stage timings, BENCH_e2e emission).
 - :mod:`repro.evaluation.section7` — Figs. 11-18 (ASAP vs baselines,
   scalability, overhead).
 - :mod:`repro.evaluation.ablations` — parameter sweeps for the design
@@ -18,6 +21,12 @@
 """
 
 from repro.evaluation.sessions import Session, SessionWorkload, generate_workload
+from repro.evaluation.engine import (
+    Experiment,
+    ExperimentConfig,
+    ExperimentReport,
+    run_experiment,
+)
 from repro.evaluation.metrics import MethodRecord, MethodSummary, summarize_method
 from repro.evaluation.policies import METHOD_NAMES, ASAPPolicy, default_policies
 from repro.evaluation.section3 import Section3Result, run_section3
@@ -36,6 +45,9 @@ from repro.evaluation.figures import export_all
 __all__ = [
     "ASAPPolicy",
     "ChaosResult",
+    "Experiment",
+    "ExperimentConfig",
+    "ExperimentReport",
     "HeadlineMetrics",
     "METHOD_NAMES",
     "MethodRecord",
@@ -51,6 +63,7 @@ __all__ = [
     "family_study",
     "generate_workload",
     "headline_metrics",
+    "run_experiment",
     "run_scalability",
     "run_chaos",
     "run_section3",

@@ -16,7 +16,7 @@ the adapter simply calls from each cluster's primary surrogate.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.baselines import (
     BaselineConfig,
@@ -26,7 +26,7 @@ from repro.baselines import (
     RANDMethod,
     RelayPolicy,
 )
-from repro.baselines.base import MethodResult
+from repro.baselines.base import MethodResult, session_batch
 from repro.core.config import ASAPConfig
 from repro.core.protocol import ASAPSystem
 from repro.scenario import Scenario
@@ -49,9 +49,16 @@ class ASAPPolicy:
 
     def evaluate_sessions(
         self,
-        pairs: Sequence[Tuple[int, int]],
+        world,
+        sessions: Sequence,
+        *,
         session_ids: Optional[Sequence[int]] = None,
+        columns=None,
     ) -> List[MethodResult]:
+        """Place one call per session.  ``world`` is accepted for
+        protocol uniformity and ignored — the system is already bound to
+        its scenario's matrix view."""
+        pairs, _ = session_batch(sessions, session_ids)
         results: List[MethodResult] = []
         for a, b in pairs:
             session = self._system.call(self._member_ip(int(a)), self._member_ip(int(b)))
@@ -82,18 +89,17 @@ def default_policies(
     """Build the requested methods as policies, in ``methods`` order."""
     if baseline_config is None:
         baseline_config = BaselineConfig()
-    matrices = scenario.matrices
     graph = scenario.topology.graph
     policies: List[RelayPolicy] = []
     for name in methods:
         if name == "DEDI":
-            policies.append(DEDIMethod(matrices, graph, baseline_config))
+            policies.append(DEDIMethod(graph, baseline_config))
         elif name == "RAND":
-            policies.append(RANDMethod(matrices, baseline_config))
+            policies.append(RANDMethod(baseline_config))
         elif name == "MIX":
-            policies.append(MIXMethod(matrices, graph, baseline_config))
+            policies.append(MIXMethod(graph, baseline_config))
         elif name == "OPT":
-            policies.append(OPTMethod(matrices, baseline_config))
+            policies.append(OPTMethod(baseline_config))
         elif name == "ASAP":
             policies.append(ASAPPolicy(ASAPSystem(scenario, asap_config)))
         else:

@@ -127,15 +127,16 @@ def run_scalability(
         )
 
     # Re-target the large run's latent sessions onto the small population.
-    small_matrices = small_scenario.matrices
+    large_view = scenario.matrix_view()
+    small_view = small_scenario.matrix_view()
     small_sessions = []
     for session in large.latent_sessions:
-        prefix_a = scenario.matrices.prefixes[session.caller_cluster]
-        prefix_b = scenario.matrices.prefixes[session.callee_cluster]
-        if prefix_a not in small_matrices.index_of or prefix_b not in small_matrices.index_of:
+        prefix_a = large_view.prefixes[session.caller_cluster]
+        prefix_b = large_view.prefixes[session.callee_cluster]
+        if prefix_a not in small_view.index_of or prefix_b not in small_view.index_of:
             continue
-        ca = small_matrices.index_of[prefix_a]
-        cb = small_matrices.index_of[prefix_b]
+        ca = small_view.index_of[prefix_a]
+        cb = small_view.index_of[prefix_b]
         host_a = small_scenario.clusters.clusters[prefix_a].hosts[0]
         host_b = small_scenario.clusters.clusters[prefix_b].hosts[0]
         small_sessions.append(
@@ -145,7 +146,7 @@ def run_scalability(
                 callee=host_b.ip,
                 caller_cluster=ca,
                 callee_cluster=cb,
-                direct_rtt_ms=float(small_matrices.rtt_ms[ca, cb]),
+                direct_rtt_ms=small_view.rtt_cell(ca, cb),
             )
         )
     small_workload = SessionWorkload(sessions=small_sessions)

@@ -68,13 +68,16 @@ def run_section3(
     """Compute the Section 3 series over a random-session workload."""
     if workload is None:
         workload = generate_workload(scenario, session_count, seed=seed)
-    opt = OPTMethod(scenario.matrices, BaselineConfig(), include_two_hop=False)
+    world = scenario.matrix_view()
+    opt = OPTMethod(BaselineConfig(), include_two_hop=False)
 
     direct = workload.direct_rtts()
     optimal = np.empty(len(workload))
     with obs.span("section3.optimal_one_hop", sessions=len(workload)):
         for idx, session in enumerate(workload.sessions):
-            _, best = opt.best_one_hop(session.caller_cluster, session.callee_cluster)
+            _, best = opt.best_one_hop(
+                world, session.caller_cluster, session.callee_cluster
+            )
             optimal[idx] = best if best is not None else np.inf
     obs.counter("section3.sessions").inc(len(workload))
 

@@ -87,7 +87,7 @@ def run_section7(
     if asap_config is None:
         from repro.core.config import derive_k_hops
 
-        asap_config = ASAPConfig(k_hops=derive_k_hops(scenario.matrices))
+        asap_config = ASAPConfig(k_hops=derive_k_hops(scenario.matrix_view()))
     if workload is None:
         workload = generate_workload(
             scenario, session_count, seed=seed, latent_target=latent_target
@@ -109,11 +109,14 @@ def run_section7(
     # Every policy takes the batch path: one evaluate_sessions call over
     # every latent pair (baselines vectorize it; the ASAP adapter runs
     # the protocol per session, identically to calling from member IPs).
+    # The world handed to the policies is the scenario's matrix view —
+    # dense arrays or the streamed VirtualMatrices, same read surface.
+    world = scenario.matrix_view()
     pairs = [(s.caller_cluster, s.callee_cluster) for s in latent]
     session_ids = [s.session_id for s in latent]
     for policy in policies:
         with obs.span("section7.policy", policy=policy.name, sessions=len(pairs)):
-            outcomes = policy.evaluate_sessions(pairs, session_ids)
+            outcomes = policy.evaluate_sessions(world, pairs, session_ids=session_ids)
         result.records[policy.name] = [
             record_from_baseline(sid, outcome)
             for sid, outcome in zip(session_ids, outcomes)

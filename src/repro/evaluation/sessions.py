@@ -75,21 +75,22 @@ def generate_workload(
     if count < 1:
         raise EvaluationError("count must be >= 1")
     rng = derive_rng(seed, "workload")
-    matrices = scenario.matrices
+    view = scenario.matrix_view()
     clusters = scenario.clusters
 
     # Only *online* peers can appear in sessions.  A host whose cluster
     # cannot reach most of the network (stub behind a failed provider) is
     # effectively offline — the paper's crawler would never have collected
-    # it, and King would get no answers for it.
-    finite_fraction = np.mean(np.isfinite(matrices.rtt_ms), axis=1)
+    # it, and King would get no answers for it.  The view computes the
+    # fractions densely or streamed; the numbers are identical.
+    finite_fraction = view.finite_row_fractions()
     online_clusters = {
-        i for i in range(matrices.count) if finite_fraction[i] >= 0.5
+        i for i in range(view.count) if finite_fraction[i] >= 0.5
     }
     hosts = [
         h
         for h in scenario.population.hosts
-        if matrices.index_of[clusters.cluster_of(h.ip).prefix] in online_clusters
+        if view.index_of[clusters.cluster_of(h.ip).prefix] in online_clusters
     ]
     if len(hosts) < 2:
         raise EvaluationError("population too small for sessions")
@@ -103,9 +104,9 @@ def generate_workload(
             break
         i, j = rng.choice(len(hosts), size=2, replace=False)
         caller, callee = hosts[int(i)], hosts[int(j)]
-        ca = matrices.index_of[clusters.cluster_of(caller.ip).prefix]
-        cb = matrices.index_of[clusters.cluster_of(callee.ip).prefix]
-        direct = float(matrices.rtt_ms[ca, cb])
+        ca = view.index_of[clusters.cluster_of(caller.ip).prefix]
+        cb = view.index_of[clusters.cluster_of(callee.ip).prefix]
+        direct = view.rtt_cell(ca, cb)
         session = Session(
             session_id=generated,
             caller=caller.ip,

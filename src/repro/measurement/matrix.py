@@ -52,8 +52,36 @@ from repro.util.rng import derive_rng
 UNREACHABLE = np.inf
 
 #: Assembly statistics of the most recent parallel run (chunk plan and
-#: per-chunk wall times) — consumed by the scale benchmarks.
-LAST_PARALLEL_STATS: Optional[Dict] = None
+#: per-chunk wall times).  Private: read it through the obs registry
+#: (``obs.annotations["parallel"]`` / the manifest ``parallel`` block)
+#: or :func:`last_parallel_stats`; the old module-global name
+#: ``LAST_PARALLEL_STATS`` is a deprecated alias served by
+#: ``__getattr__`` below.
+_LAST_PARALLEL_STATS: Optional[Dict] = None
+
+
+def last_parallel_stats() -> Optional[Dict]:
+    """Chunk plan and per-chunk wall times of the most recent parallel
+    assembly in this process (``None`` if none ran).  Runs with
+    observability enabled also record the same document in the run
+    manifest's ``parallel`` block."""
+    return _LAST_PARALLEL_STATS
+
+
+def __getattr__(name: str):
+    if name == "LAST_PARALLEL_STATS":
+        import warnings
+
+        warnings.warn(
+            "matrix.LAST_PARALLEL_STATS is deprecated (a mutable module "
+            "global that leaks across runs and forks); use "
+            "matrix.last_parallel_stats() or the run manifest's "
+            "'parallel' block instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _LAST_PARALLEL_STATS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass
@@ -107,10 +135,65 @@ class DelegateMatrices:
         """One-way loss of the relayed path (independent segments)."""
         return 1.0 - (1.0 - float(self.loss[a, relay])) * (1.0 - float(self.loss[relay, b]))
 
+    # -- world-view protocol -------------------------------------------
+    #
+    # The streaming engine evaluates policies against a *world view*:
+    # cell reads, fancy-index gathers, and per-column-block iteration.
+    # Dense matrices implement the view trivially over the stored
+    # arrays; ``repro.worldarrays.virtual.VirtualMatrices`` implements
+    # the same surface without ever materializing N×N.
+
+    def rtt_cell(self, i: int, j: int) -> float:
+        """One RTT cell (same float the dense array holds)."""
+        return float(self.rtt_ms[i, j])
+
+    def loss_cell(self, i: int, j: int) -> float:
+        """One loss cell (same float the dense array holds)."""
+        return float(self.loss[i, j])
+
+    def gather_rtt(self, rows, cols) -> np.ndarray:
+        """``rtt_ms[rows, cols]`` with numpy broadcasting semantics."""
+        return self.rtt_ms[rows, cols]
+
+    def gather_loss(self, rows, cols) -> np.ndarray:
+        """``loss[rows, cols]`` with numpy broadcasting semantics."""
+        return self.loss[rows, cols]
+
+    def iter_column_blocks(self, chunk: int = 256):
+        """Yield ``(cols, rtt_block, loss_block, hops_block)`` over all
+        destination columns in ascending order; blocks are (N, len(cols))
+        views of the dense arrays."""
+        n = self.count
+        for start in range(0, n, chunk):
+            cols = np.arange(start, min(start + chunk, n), dtype=np.int64)
+            yield cols, self.rtt_ms[:, cols], self.loss[:, cols], self.as_hops[:, cols]
+
+    def finite_row_fractions(self) -> np.ndarray:
+        """Per-row fraction of finite RTT entries (workload online test)."""
+        return np.mean(np.isfinite(self.rtt_ms), axis=1)
+
 
 #: Shared read-only state published for fork-start workers (see
 #: :mod:`repro.util.parallel`); ``None`` outside a parallel assembly.
 _ASSEMBLY_STATE: Optional[tuple] = None
+
+
+def cluster_headers(cluster_list: Sequence[Cluster]):
+    """Per-cluster header arrays shared by every matrix representation.
+
+    Returns ``(prefixes, index_of, asn_of, sizes, access)`` — the
+    book-keeping both :func:`compute_delegate_matrices` and the virtual
+    (streamed) view build from the same cluster list, in the same order.
+    """
+    prefixes = [c.prefix for c in cluster_list]
+    index_of = {p: i for i, p in enumerate(prefixes)}
+    asn_of = np.array([c.asn for c in cluster_list], dtype=np.int64)
+    sizes = np.array([len(c) for c in cluster_list], dtype=np.int64)
+    delegates = [c.delegate for c in cluster_list]
+    if any(d is None for d in delegates):
+        raise MeasurementError("every cluster must have a delegate")
+    access = np.array([d.access_delay_ms for d in delegates], dtype=float)
+    return prefixes, index_of, asn_of, sizes, access
 
 
 def _resolve_method(method: Optional[str]) -> str:
@@ -147,14 +230,7 @@ def compute_delegate_matrices(
         raise MeasurementError("no clusters to measure")
     n = len(cluster_list)
     obs.gauge("matrix.clusters").set(n)
-    prefixes = [c.prefix for c in cluster_list]
-    index_of = {p: i for i, p in enumerate(prefixes)}
-    asn_of = np.array([c.asn for c in cluster_list], dtype=np.int64)
-    sizes = np.array([len(c) for c in cluster_list], dtype=np.int64)
-    delegates = [c.delegate for c in cluster_list]
-    if any(d is None for d in delegates):
-        raise MeasurementError("every cluster must have a delegate")
-    access = np.array([d.access_delay_ms for d in delegates], dtype=float)
+    prefixes, index_of, asn_of, sizes, access = cluster_headers(cluster_list)
 
     use_flat = _resolve_method(method) == "flat"
     worker_count = resolve_workers(workers)
@@ -208,12 +284,19 @@ def compute_delegate_matrices(
                 )
             finally:
                 _ASSEMBLY_STATE = None
-            global LAST_PARALLEL_STATS
-            LAST_PARALLEL_STATS = {
+            global _LAST_PARALLEL_STATS
+            stats = {
                 "chunk_sizes": [len(c) for c in chunks],
                 "chunk_seconds": [seconds for _, seconds in timings],
                 "workers": worker_count,
             }
+            _LAST_PARALLEL_STATS = stats
+            # The durable record: the obs registry (and hence the run
+            # manifest's ``parallel`` block) rather than a module global.
+            obs.annotate(parallel=stats)
+            obs.gauge("matrix.parallel.workers").set(worker_count)
+            for seconds in stats["chunk_seconds"]:
+                obs.histogram("matrix.parallel.chunk_seconds").observe(seconds)
         elif use_flat:
             from repro.worldarrays import FlatMatrixAssembler, WorldArrays
 

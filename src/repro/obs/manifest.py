@@ -33,7 +33,10 @@ __all__ = [
 #: Bump when manifest semantics change; validators reject other versions.
 #: v2: histogram snapshots carry p50/p95/p99 estimates; ``traces_file``
 #: and ``traces_written`` record the run's causal-trace output.
-MANIFEST_SCHEMA_VERSION = 2
+#: v3: top-level ``parallel`` block (per-chunk sizes/timings and resolved
+#: worker count of the run's parallel matrix build, null for serial runs)
+#: replaces reading ``matrix.LAST_PARALLEL_STATS`` out of the process.
+MANIFEST_SCHEMA_VERSION = 3
 
 #: Canonical file name of a run manifest inside an observability directory.
 MANIFEST_FILENAME = "run_manifest.json"
@@ -53,6 +56,7 @@ MANIFEST_SCHEMA: Dict[str, Tuple[tuple, bool]] = {
     "scale": ((str, _NoneType), True),
     "config_key": ((str, _NoneType), True),
     "workers": ((int, _NoneType), True),
+    "parallel": ((dict, _NoneType), False),
     "cache": ((dict,), True),
     "network": ((dict,), False),
     "counters": ((dict,), True),

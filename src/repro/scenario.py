@@ -90,6 +90,34 @@ class ScenarioConfig:
         )
 
     @classmethod
+    def preset(cls, scale: str, seed: int = 0) -> "ScenarioConfig":
+        """The registered config of a named scale tier.
+
+        One classmethod replaces the old per-scale helper functions
+        (``tiny_config``/``small_config``/``evaluation_config``/
+        ``config_for_scale``, now deprecation shims).  The tier table:
+
+        ========== ========== ============ ====================================
+        scale      clusters~  hosts        purpose
+        ========== ========== ============ ====================================
+        tiny       ~40        300          unit tests (sub-second build)
+        small      ~350       3,000        examples, quick runs
+        10k        ~690       10,000       streaming-parity tier (dense fits)
+        evaluation ~1,300     20,000       benchmark scale (paper stand-in)
+        100k       ~8,600     100,000      streamed section-7 tier
+        1m         ~8,600     1,000,000    million-host smoke tier
+        ========== ========== ============ ====================================
+
+        ``tiny``/``small``/``evaluation`` produce byte-identical configs
+        to the old helpers, so existing artifact-cache keys stay valid.
+        """
+        try:
+            factory = _PRESETS[scale]
+        except KeyError:
+            raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}") from None
+        return factory(seed)
+
+    @classmethod
     def from_cli_args(cls, args) -> "ScenarioConfig":
         """The scenario config described by parsed CLI arguments.
 
@@ -100,7 +128,7 @@ class ScenarioConfig:
         knob is declared in exactly one place.
         """
         scale = getattr(args, "scale", "small")
-        config = config_for_scale(scale, getattr(args, "seed", 0))
+        config = cls.preset(scale, getattr(args, "seed", 0))
         return replace(
             config,
             workers=getattr(args, "workers", None),
@@ -123,6 +151,10 @@ class Scenario:
     clusters: ClusterIndex
     latency: LatencyModel
     _matrices: Optional[DelegateMatrices] = field(default=None, repr=False)
+    # A streamed (never-materialized) matrix view attached by the
+    # experiment engine; when set, ``matrix_view()`` serves it and the
+    # dense ``.matrices`` property refuses to materialize N×N.
+    _virtual: Optional[object] = field(default=None, repr=False)
     # False for derived worlds (subsampled populations, measured-matrix
     # views) whose contents no longer match their config's cache key;
     # the artifact cache refuses to serve or store them.
@@ -136,11 +168,34 @@ class Scenario:
     @property
     def matrices(self) -> DelegateMatrices:
         """All-pairs delegate matrices, computed on first use and cached."""
+        if self._virtual is not None:
+            raise RuntimeError(
+                "this scenario streams its matrices (a VirtualMatrices view "
+                "is attached); use matrix_view() instead of materializing "
+                "the dense N×N arrays"
+            )
         if self._matrices is None:
             self._matrices = compute_delegate_matrices(
                 self.latency, self.clusters, workers=self.config.workers
             )
         return self._matrices
+
+    def attach_virtual_matrices(self, virtual) -> None:
+        """Attach a streamed matrix view (the scenario stops being
+        cacheable — its artifacts would force dense materialization)."""
+        if self._matrices is not None:
+            raise RuntimeError("dense matrices already materialized")
+        self._virtual = virtual
+        self.cacheable = False
+
+    def matrix_view(self):
+        """The matrix read surface every consumer should code against:
+        the attached streamed view when present, the dense matrices
+        otherwise.  Both implement the same cell/gather/block protocol
+        (see ``DelegateMatrices``' world-view methods)."""
+        if self._virtual is not None:
+            return self._virtual
+        return self.matrices
 
     def with_measured_matrices(
         self,
@@ -310,8 +365,15 @@ def subsample_scenario(scenario: Scenario, fraction: float, seed: int = 0) -> Sc
     )
 
 
-def tiny_config(seed: int = 0) -> ScenarioConfig:
-    """Config of the very small unit-test world."""
+# -- scale preset registry --------------------------------------------
+#
+# The single source of scale tiers, served by ScenarioConfig.preset().
+# tiny/small/evaluation are byte-identical to the pre-preset helper
+# functions so content-addressed cache keys are stable across the API
+# change; 10k/100k/1m extend the table upward for the streaming engine.
+
+
+def _tiny_preset(seed: int) -> ScenarioConfig:
     return ScenarioConfig(
         topology=TopologyConfig(tier1_count=3, tier2_count=10, tier3_count=40, seed=seed),
         population=PopulationConfig(host_count=300, seed=seed),
@@ -321,52 +383,116 @@ def tiny_config(seed: int = 0) -> ScenarioConfig:
     )
 
 
-def tiny_scenario(seed: int = 0) -> Scenario:
-    """A very small world for unit tests (sub-second build)."""
-    return build_scenario(tiny_config(seed))
-
-
-def small_config(seed: int = 0) -> ScenarioConfig:
-    """Config of the mid-size world (~350 clusters, ~3k hosts)."""
+def _small_preset(seed: int) -> ScenarioConfig:
     return ScenarioConfig().with_seed(seed)
 
 
-def small_scenario(seed: int = 0) -> Scenario:
-    """A mid-size world (~350 clusters, ~3k hosts): examples, quick runs."""
-    return build_scenario(small_config(seed))
+def _10k_preset(seed: int) -> ScenarioConfig:
+    # The streaming-parity tier: large enough that streaming is worth
+    # exercising, small enough that the dense N×N comparison still fits.
+    return ScenarioConfig(
+        topology=TopologyConfig(tier1_count=6, tier2_count=80, tier3_count=640),
+        population=PopulationConfig(host_count=10_000),
+        vantage_count=8,
+    ).with_seed(seed)
 
 
-def evaluation_config(seed: int = 0) -> ScenarioConfig:
-    """The benchmark-scale world (~1.3k clusters, ~15k hosts).
-
-    This is the scaled-down stand-in for the paper's 23,366-IP / 7,171-
-    cluster measurement dataset; it keeps DEDI's 80-cluster fleet a
-    small fraction of all clusters, as in the paper.
-    """
+def _evaluation_preset(seed: int) -> ScenarioConfig:
+    # The scaled-down stand-in for the paper's 23,366-IP / 7,171-cluster
+    # measurement dataset; keeps DEDI's 80-cluster fleet a small
+    # fraction of all clusters, as in the paper.
     return ScenarioConfig(
         topology=TopologyConfig(tier1_count=10, tier2_count=150, tier3_count=1200),
         population=PopulationConfig(host_count=20000),
     ).with_seed(seed)
 
 
+def _100k_preset(seed: int) -> ScenarioConfig:
+    # Dense matrices at this tier would need ~1.8 GB ×2 float arrays;
+    # the streaming engine runs it without materializing any of them.
+    # 8k+ stub ASes overflow the flat 10/8 allocator, so these tiers use
+    # provider-aggregatable space (a /4 super-block) — also the more
+    # realistic address plan at Internet-like AS counts.
+    return ScenarioConfig(
+        topology=TopologyConfig(tier1_count=12, tier2_count=200, tier3_count=8000),
+        population=PopulationConfig(host_count=100_000),
+        hierarchical_prefixes=True,
+    ).with_seed(seed)
+
+
+def _1m_preset(seed: int) -> ScenarioConfig:
+    # Same Internet as 100k, ten times the peers: cluster count (and the
+    # matrix) stays put while populations and workloads scale up.
+    return ScenarioConfig(
+        topology=TopologyConfig(tier1_count=12, tier2_count=200, tier3_count=8000),
+        population=PopulationConfig(host_count=1_000_000),
+        hierarchical_prefixes=True,
+    ).with_seed(seed)
+
+
+_PRESETS = {
+    "tiny": _tiny_preset,
+    "small": _small_preset,
+    "10k": _10k_preset,
+    "evaluation": _evaluation_preset,
+    "100k": _100k_preset,
+    "1m": _1m_preset,
+}
+
+#: Named scales the CLI (and :meth:`ScenarioConfig.preset`) accept.
+SCALES = tuple(_PRESETS)
+
+
+def _deprecated_config_helper(name: str, scale: str):
+    import warnings
+
+    warnings.warn(
+        f"{name}() is deprecated; use ScenarioConfig.preset({scale!r}, seed)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+def tiny_config(seed: int = 0) -> ScenarioConfig:
+    """Deprecated: use ``ScenarioConfig.preset("tiny", seed)``."""
+    _deprecated_config_helper("tiny_config", "tiny")
+    return ScenarioConfig.preset("tiny", seed)
+
+
+def tiny_scenario(seed: int = 0) -> Scenario:
+    """A very small world for unit tests (sub-second build)."""
+    return build_scenario(ScenarioConfig.preset("tiny", seed))
+
+
+def small_config(seed: int = 0) -> ScenarioConfig:
+    """Deprecated: use ``ScenarioConfig.preset("small", seed)``."""
+    _deprecated_config_helper("small_config", "small")
+    return ScenarioConfig.preset("small", seed)
+
+
+def small_scenario(seed: int = 0) -> Scenario:
+    """A mid-size world (~350 clusters, ~3k hosts): examples, quick runs."""
+    return build_scenario(ScenarioConfig.preset("small", seed))
+
+
+def evaluation_config(seed: int = 0) -> ScenarioConfig:
+    """Deprecated: use ``ScenarioConfig.preset("evaluation", seed)``."""
+    _deprecated_config_helper("evaluation_config", "evaluation")
+    return ScenarioConfig.preset("evaluation", seed)
+
+
 def default_scenario(seed: int = 0) -> Scenario:
     """The standard world used by benchmarks (evaluation scale)."""
-    return build_scenario(evaluation_config(seed))
-
-
-#: Named scales the CLI (and :meth:`ScenarioConfig.from_cli_args`) accept.
-SCALES = ("tiny", "small", "evaluation")
+    return build_scenario(ScenarioConfig.preset("evaluation", seed))
 
 
 def config_for_scale(scale: str, seed: int = 0) -> ScenarioConfig:
-    """The config of a named scale (``tiny``/``small``/``evaluation``)."""
-    factories = {
-        "tiny": tiny_config,
-        "small": small_config,
-        "evaluation": evaluation_config,
-    }
-    try:
-        factory = factories[scale]
-    except KeyError:
-        raise ValueError(f"unknown scale {scale!r}; choose from {SCALES}") from None
-    return factory(seed)
+    """Deprecated: use ``ScenarioConfig.preset(scale, seed)``."""
+    import warnings
+
+    warnings.warn(
+        "config_for_scale() is deprecated; use ScenarioConfig.preset(scale, seed)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return ScenarioConfig.preset(scale, seed)

@@ -21,7 +21,7 @@ from repro.core.close_cluster import CloseClusterSet
 from repro.core.protocol import ASAPSystem
 from repro.errors import ServiceError
 from repro.netaddr import IPv4Address
-from repro.scenario import Scenario, build_scenario, config_for_scale
+from repro.scenario import Scenario, ScenarioConfig, build_scenario
 from repro.topology.population import Host, NodalInfo
 
 __all__ = ["ServiceWorld"]
@@ -39,11 +39,11 @@ class ServiceWorld:
     def __init__(self, scenario: Scenario, config: Optional[ASAPConfig] = None) -> None:
         self.scenario = scenario
         if config is None:
-            config = ASAPConfig(k_hops=derive_k_hops(scenario.matrices))
+            config = ASAPConfig(k_hops=derive_k_hops(scenario.matrix_view()))
         self.config = config
         self.system = ASAPSystem(scenario, config)
         self._cluster_by_index = {
-            scenario.matrices.index_of[cluster.prefix]: cluster
+            scenario.matrix_view().index_of[cluster.prefix]: cluster
             for cluster in scenario.clusters.all_clusters()
         }
         self.bootstrap_host = self._make_bootstrap_host()
@@ -57,7 +57,7 @@ class ServiceWorld:
         cache_dir: Optional[str] = None,
     ) -> "ServiceWorld":
         config = replace(
-            config_for_scale(scale, seed), workers=workers, cache_dir=cache_dir
+            ScenarioConfig.preset(scale, seed), workers=workers, cache_dir=cache_dir
         )
         return cls(build_scenario(config))
 

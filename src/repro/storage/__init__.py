@@ -28,8 +28,11 @@ from repro.storage.cache import (
     resolve_cache_dir,
     scenario_cache_key,
 )
+from repro.storage.columns import COLUMN_STORE_SCHEMA, ColumnStore
 
 __all__ = [
+    "COLUMN_STORE_SCHEMA",
+    "ColumnStore",
     "SCHEMA_VERSION",
     "ScenarioCache",
     "load_matrices",

@@ -27,12 +27,14 @@ import os
 from repro.worldarrays.arrays import GraphCSR, WorldArrays, csr_gather
 from repro.worldarrays.closesets import FlatCloseSetBuilder
 from repro.worldarrays.matrixfill import FlatMatrixAssembler
+from repro.worldarrays.virtual import VirtualMatrices
 
 __all__ = [
     "FLAT_WORLD_ENV",
     "FlatCloseSetBuilder",
     "FlatMatrixAssembler",
     "GraphCSR",
+    "VirtualMatrices",
     "WorldArrays",
     "csr_gather",
     "flat_enabled",

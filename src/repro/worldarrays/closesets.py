@@ -42,23 +42,22 @@ class FlatCloseSetBuilder:
 
     ``clusters_by_as`` maps ASN → ascending matrix indices of online
     clusters (the same table :meth:`ASAPSystem.clusters_in_as` serves);
-    ``rtt_ms``/``loss`` are the delegate matrices the surrogate probes
-    read.
+    ``world`` is the matrix view the surrogate probes read — dense
+    :class:`~repro.measurement.matrix.DelegateMatrices` or the streamed
+    :class:`~repro.worldarrays.virtual.VirtualMatrices` (the gathers
+    return the same floats either way).
     """
 
     def __init__(
         self,
         graph: ASGraph,
-        rtt_ms: np.ndarray,
-        loss: np.ndarray,
+        world,
         clusters_by_as: Dict[int, List[int]],
         config: Optional[ASAPConfig] = None,
     ) -> None:
         self._config = config if config is not None else ASAPConfig()
         self._csr = GraphCSR.from_asgraph(graph)
-        self._rtt = rtt_ms
-        self._loss = loss
-        count = self._csr.count
+        self._world = world
         # Clusters per graph node, ascending (ASes outside the graph are
         # unreachable by the BFS and need no rows).
         self._rows_of: List[np.ndarray] = [
@@ -170,8 +169,8 @@ class FlatCloseSetBuilder:
             return depth == 0  # lone own cluster: reference expands own AS anyway
         result.probe_messages += 2 * len(probed)
         result.probes_by_as[asn] = result.probes_by_as.get(asn, 0) + 2 * len(probed)
-        rtt = self._rtt[own_cluster, probed]
-        lost = self._loss[own_cluster, probed]
+        rtt = self._world.gather_rtt(own_cluster, probed)
+        lost = self._world.gather_loss(own_cluster, probed)
         answered = np.isfinite(rtt)
         passed = (
             answered

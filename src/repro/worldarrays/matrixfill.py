@@ -21,6 +21,7 @@ elementwise ops are value-identical to their scalar counterparts.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
@@ -38,14 +39,34 @@ class FlatMatrixAssembler:
     an AS cost one tree resolution total (the object path re-walks the
     memo per column).  Instances are safe to fork: workers inherit the
     arrays copy-on-write and only append to their private memo.
+
+    ``memo_limit`` bounds the memo to an LRU of that many destination
+    ASes (each entry holds four V-length arrays ≈ 25·V bytes); the
+    streaming view sets it so 100k-tier worlds never accumulate the full
+    per-AS table.  Unbounded (the batch-assembly default) when ``None``.
     """
 
-    def __init__(self, model: LatencyModel, world: WorldArrays) -> None:
+    def __init__(
+        self,
+        model: LatencyModel,
+        world: WorldArrays,
+        memo_limit: Optional[int] = None,
+    ) -> None:
         self._model = model
         self._world = world
+        self._memo_limit = memo_limit
         # dest ASN -> (one_way, loss, hops, reach) over the AS universe,
         # or None when the destination is unreachable (failed / unknown).
-        self._oneway: Dict[int, Optional[Tuple]] = {}
+        self._oneway: "OrderedDict[int, Optional[Tuple]]" = OrderedDict()
+
+    def memoized(self, dest_as: int) -> bool:
+        """Whether ``dest_as``'s tree is currently resolved in the memo."""
+        return dest_as in self._oneway
+
+    def resolve(self, dest_as: int) -> Optional[Tuple]:
+        """Resolved ``(one_way, loss, hops, reach)`` arrays toward one
+        destination AS (memoized), or ``None`` when unreachable."""
+        return self._one_way(dest_as)
 
     @property
     def world(self) -> WorldArrays:
@@ -118,13 +139,16 @@ class FlatMatrixAssembler:
 
     def _one_way(self, dest_as: int) -> Optional[Tuple]:
         """(one_way, loss, hops, reach) arrays toward one destination AS."""
-        try:
+        if dest_as in self._oneway:
+            if self._memo_limit is not None:
+                self._oneway.move_to_end(dest_as)
             return self._oneway[dest_as]
-        except KeyError:
-            pass
         tree = self._model.routing_tree(dest_as)
         result = None if tree is None else self._resolve_tree(tree)
         self._oneway[dest_as] = result
+        if self._memo_limit is not None:
+            while len(self._oneway) > self._memo_limit:
+                self._oneway.popitem(last=False)
         return result
 
     def _resolve_tree(self, tree) -> Tuple:

@@ -116,13 +116,13 @@ class TestOptConformance:
         from repro.baselines import BaselineConfig, OPTMethod
 
         matrices = scenario.matrices
-        opt = OPTMethod(matrices, BaselineConfig())
+        opt = OPTMethod(BaselineConfig())
         rng = np.random.default_rng(3)
         for _ in range(15):
             a, b = (int(x) for x in rng.integers(0, matrices.count, 2))
             if a == b:
                 continue
-            _, fast = opt.best_one_hop(a, b)
+            _, fast = opt.best_one_hop(matrices, a, b)
             slow = reference_opt_one_hop(matrices, a, b)
             if slow is None:
                 assert fast is None
@@ -158,13 +158,13 @@ class TestTwoHopConformance:
         from repro.baselines import BaselineConfig, OPTMethod
 
         matrices = scenario.matrices
-        opt = OPTMethod(matrices, BaselineConfig())
+        opt = OPTMethod(BaselineConfig())
         rng = np.random.default_rng(4)
         for _ in range(5):
             a, b = (int(x) for x in rng.integers(0, matrices.count, 2))
             if a == b:
                 continue
-            fast = opt.best_two_hop(a, b)
+            fast = opt.best_two_hop(matrices, a, b)
             slow = reference_two_hop(matrices, a, b)
             assert fast == pytest.approx(slow)
 

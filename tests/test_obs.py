@@ -330,13 +330,14 @@ class TestRelayPolicyProtocol:
         assert isinstance(policies[1], ASAPPolicy)
 
     def test_evaluate_session_delegates_to_batch(self, scenario):
-        engine = RANDMethod(scenario.matrices)
-        single = engine.evaluate_session(0, 1, session_id=5)
-        batch = engine.evaluate_sessions([(0, 1)], [5])[0]
+        engine = RANDMethod()
+        matrices = scenario.matrices
+        single = engine.evaluate_session(matrices, 0, 1, session_id=5)
+        batch = engine.evaluate_sessions(matrices, [(0, 1)], session_ids=[5])[0]
         assert single == batch
 
     def test_opt_reports_no_one_hop_split(self, scenario):
-        result = OPTMethod(scenario.matrices).evaluate_session(0, 1)
+        result = OPTMethod().evaluate_session(scenario.matrices, 0, 1)
         assert result.one_hop_quality_paths is None
 
 

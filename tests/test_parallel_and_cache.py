@@ -26,9 +26,9 @@ from repro.baselines import (
 from repro.core import ASAPConfig, ASAPSystem
 from repro.measurement.matrix import compute_delegate_matrices
 from repro.scenario import (
+    ScenarioConfig,
     build_scenario,
     subsample_scenario,
-    tiny_config,
     tiny_scenario,
 )
 from repro.storage import SCHEMA_VERSION, ScenarioCache, scenario_cache_key
@@ -181,7 +181,7 @@ class TestMatrixParallelParity:
         assert serial.prefixes == parallel.prefixes
 
     def test_lazy_property_respects_config_workers(self):
-        world = build_scenario(dataclasses.replace(tiny_config(11), workers=2))
+        world = build_scenario(dataclasses.replace(ScenarioConfig.preset("tiny", 11), workers=2))
         reference = tiny_scenario(seed=11)
         assert np.array_equal(world.matrices.rtt_ms, reference.matrices.rtt_ms)
 
@@ -199,12 +199,20 @@ class TestMatrixParallelParity:
         from repro.measurement import matrix as matrix_module
 
         compute_delegate_matrices(scenario.latency, scenario.clusters, workers=2)
-        stats = matrix_module.LAST_PARALLEL_STATS
+        stats = matrix_module.last_parallel_stats()
         assert stats is not None
         assert stats["workers"] == 2
         assert sum(stats["chunk_sizes"]) == scenario.matrices.count
         assert len(stats["chunk_seconds"]) == len(stats["chunk_sizes"])
         assert all(s >= 0.0 for s in stats["chunk_seconds"])
+
+    def test_deprecated_global_warns_but_still_answers(self, scenario):
+        from repro.measurement import matrix as matrix_module
+
+        compute_delegate_matrices(scenario.latency, scenario.clusters, workers=2)
+        with pytest.warns(DeprecationWarning, match="LAST_PARALLEL_STATS"):
+            stats = matrix_module.LAST_PARALLEL_STATS
+        assert stats == matrix_module.last_parallel_stats()
 
 
 class TestCloseSetPrebuildParity:
@@ -226,22 +234,22 @@ class TestCloseSetPrebuildParity:
 
 class TestScenarioCacheKey:
     def test_stable_across_runtime_knobs(self):
-        base = tiny_config(3)
+        base = ScenarioConfig.preset("tiny", 3)
         tuned = dataclasses.replace(base, workers=8, cache_dir="/somewhere")
         assert scenario_cache_key(base) == scenario_cache_key(tuned)
 
     def test_differs_across_seeds(self):
-        assert scenario_cache_key(tiny_config(1)) != scenario_cache_key(tiny_config(2))
+        assert scenario_cache_key(ScenarioConfig.preset("tiny", 1)) != scenario_cache_key(ScenarioConfig.preset("tiny", 2))
 
     def test_differs_across_shape(self):
-        base = tiny_config(1)
+        base = ScenarioConfig.preset("tiny", 1)
         bigger = dataclasses.replace(base, vantage_count=base.vantage_count + 1)
         assert scenario_cache_key(base) != scenario_cache_key(bigger)
 
 
 class TestScenarioCache:
     def test_round_trip_is_identical(self, tmp_path):
-        config = dataclasses.replace(tiny_config(7), cache_dir=str(tmp_path))
+        config = dataclasses.replace(ScenarioConfig.preset("tiny", 7), cache_dir=str(tmp_path))
         cold = build_scenario(config)
         entry_dir = tmp_path / scenario_cache_key(config)
         assert (entry_dir / "scenario.pkl.gz").exists()
@@ -259,7 +267,7 @@ class TestScenarioCache:
         assert warm.config == config
 
     def test_corrupt_entry_is_a_miss(self, tmp_path):
-        config = dataclasses.replace(tiny_config(7), cache_dir=str(tmp_path))
+        config = dataclasses.replace(ScenarioConfig.preset("tiny", 7), cache_dir=str(tmp_path))
         build_scenario(config)
         pickle_path = tmp_path / scenario_cache_key(config) / "scenario.pkl.gz"
         pickle_path.write_bytes(b"not a gzip stream")
@@ -269,8 +277,8 @@ class TestScenarioCache:
     def test_env_var_selects_cache_dir(self, tmp_path, monkeypatch):
         monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
         assert resolve_cache_dir(None) == tmp_path
-        build_scenario(tiny_config(7))
-        assert (tmp_path / scenario_cache_key(tiny_config(7))).is_dir()
+        build_scenario(ScenarioConfig.preset("tiny", 7))
+        assert (tmp_path / scenario_cache_key(ScenarioConfig.preset("tiny", 7))).is_dir()
 
     def test_no_cache_dir_means_no_caching(self, monkeypatch):
         monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
@@ -304,9 +312,9 @@ class TestScenarioCache:
         # must invalidate every existing entry.  (Indirect check: the key
         # derives from a payload that includes the current version.)
         assert isinstance(SCHEMA_VERSION, int)
-        key = scenario_cache_key(tiny_config(0))
+        key = scenario_cache_key(ScenarioConfig.preset("tiny", 0))
         assert len(key) == 20
-        assert key == scenario_cache_key(tiny_config(0))
+        assert key == scenario_cache_key(ScenarioConfig.preset("tiny", 0))
 
 
 # -- batch evaluation parity ---------------------------------------------------
@@ -343,37 +351,40 @@ class TestBatchEvaluationParity:
     def _check(self, engine, matrices):
         pairs = _some_pairs(matrices)
         session_ids = [100 + k for k in range(len(pairs))]
-        batch = engine.evaluate_sessions(pairs, session_ids)
+        batch = engine.evaluate_sessions(matrices, pairs, session_ids=session_ids)
         loop = [
-            engine.evaluate_session(a, b, sid)
+            engine.evaluate_session(matrices, a, b, sid)
             for (a, b), sid in zip(pairs, session_ids)
         ]
         _assert_results_equal(batch, loop)
 
     def test_opt(self, world):
         matrices, _ = world
-        self._check(OPTMethod(matrices, BaselineConfig()), matrices)
+        self._check(OPTMethod(BaselineConfig()), matrices)
 
     def test_dedi(self, world):
         matrices, graph = world
-        self._check(DEDIMethod(matrices, graph, BaselineConfig()), matrices)
+        self._check(DEDIMethod(graph, BaselineConfig()), matrices)
 
     def test_rand(self, world):
         matrices, _ = world
-        self._check(RANDMethod(matrices, BaselineConfig()), matrices)
+        self._check(RANDMethod(BaselineConfig()), matrices)
 
     def test_mix(self, world):
         matrices, graph = world
-        self._check(MIXMethod(matrices, graph, BaselineConfig()), matrices)
+        self._check(MIXMethod(graph, BaselineConfig()), matrices)
 
     def test_default_session_ids(self, world):
         matrices, _ = world
-        engine = RANDMethod(matrices, BaselineConfig())
+        engine = RANDMethod(BaselineConfig())
         pairs = _some_pairs(matrices, count=4)
-        batch = engine.evaluate_sessions(pairs)
-        loop = [engine.evaluate_session(a, b, k) for k, (a, b) in enumerate(pairs)]
+        batch = engine.evaluate_sessions(matrices, pairs)
+        loop = [
+            engine.evaluate_session(matrices, a, b, k)
+            for k, (a, b) in enumerate(pairs)
+        ]
         _assert_results_equal(batch, loop)
 
     def test_empty_batch(self, world):
         matrices, _ = world
-        assert OPTMethod(matrices, BaselineConfig()).evaluate_sessions([]) == []
+        assert OPTMethod(BaselineConfig()).evaluate_sessions(matrices, []) == []

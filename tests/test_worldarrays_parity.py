@@ -19,7 +19,7 @@ from repro.core import ASAPConfig, ASAPSystem
 from repro.evaluation.chaos import run_chaos
 from repro.faults import FaultScheduleConfig
 from repro.measurement.matrix import compute_delegate_matrices
-from repro.scenario import ScenarioConfig, build_scenario, tiny_config, tiny_scenario
+from repro.scenario import ScenarioConfig, build_scenario, tiny_scenario
 from repro.scenario import PopulationConfig, TopologyConfig
 from repro.worldarrays import FLAT_WORLD_ENV, flat_enabled
 
@@ -29,7 +29,7 @@ SEEDS = (3, 11, 29)
 def _medium_scenario(seed: int):
     """A second scale tier: ~2x the tiny world in every dimension."""
     config = dataclasses.replace(
-        tiny_config(seed),
+        ScenarioConfig.preset("tiny", seed),
         topology=TopologyConfig(
             tier1_count=4, tier2_count=16, tier3_count=80, seed=seed
         ),
