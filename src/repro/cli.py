@@ -15,6 +15,8 @@ Commands mirror the paper's workflow:
                  ``--src``/``--dst`` host pair), verbosely;
 - ``trace``      a traced chaos + Skype-baseline run, rendered as
                  per-call timelines and the L1-L4 limits report;
+- ``soak``       long-horizon churn soak over the sharded control plane
+                 (steady-state gates; exits 1 when a gate fails);
 - ``serve``      run the bootstrap + surrogate daemons on real TCP
                  sockets;
 - ``dial``       join host agents against a running ``serve`` and place
@@ -34,6 +36,7 @@ tests enumerate the registered parsers to enforce it.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -492,6 +495,45 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_soak(args: argparse.Namespace) -> int:
+    from repro.evaluation.report import render_kv_table
+    from repro.evaluation.soak import SoakConfig, default_shard_outage, run_soak
+    from repro.faults import ChurnWave
+
+    scenario = _build_from_args(args)
+    waves = ()
+    if args.wave_fraction > 0:
+        waves = tuple(
+            ChurnWave(at_ms=round(at, 3), fraction=args.wave_fraction)
+            for at in args.wave_at_ms
+        )
+    config = SoakConfig(
+        seed=args.soak_seed,
+        sim_minutes=args.minutes,
+        shards=args.shards,
+        sessions=args.sessions,
+        joins=args.joins,
+        media_duration_ms=args.media_ms,
+        churn_rate_per_min=args.churn_rate,
+        churn_waves=waves,
+        rejoin_delay_ms=args.rejoin_ms,
+        staleness_p95_max=args.staleness_max,
+    )
+    if args.kill_shard >= 0:
+        config = dataclasses.replace(
+            config, shard_outages=(default_shard_outage(config, args.kill_shard),)
+        )
+    report = run_soak(scenario, config)
+    print(render_kv_table("churn soak:", report.summary_rows()))
+    if args.event_log:
+        Path(args.event_log).write_text("\n".join(report.log_lines()) + "\n")
+        print(f"wrote {len(report.log_lines())} event log lines to {args.event_log}")
+    if args.json:
+        Path(args.json).write_text(report.to_json() + "\n")
+        print(f"wrote soak report to {args.json}")
+    return 0 if report.ok else 1
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     from repro.evaluation.figures import export_all
 
@@ -817,6 +859,39 @@ def make_parser() -> argparse.ArgumentParser:
                    help="write the byte-stable fault log (JSON lines) here")
     p.add_argument("--json", metavar="PATH",
                    help="write the chaos summary document (JSON) here")
+
+    p = _subcommand(sub, "soak", cmd_soak,
+                    "long-horizon churn soak over the sharded control "
+                    "plane (steady-state gates; exit 1 on gate failure)")
+    p.add_argument("--minutes", type=float, default=60.0,
+                   help="simulated runtime in minutes (default: 60)")
+    p.add_argument("--shards", type=int, default=3,
+                   help="directory shards on the hash ring (default: 3)")
+    p.add_argument("--sessions", type=int, default=40, help="calls to place")
+    p.add_argument("--joins", type=int, default=40, help="hosts that join")
+    p.add_argument("--media-ms", type=float, default=10_000.0,
+                   help="voice duration per completed call (simulated ms)")
+    p.add_argument("--soak-seed", type=int, default=0,
+                   help="seed of the soak schedule (independent of --seed)")
+    p.add_argument("--churn-rate", type=float, default=2.0,
+                   help="host departures per simulated minute (each host "
+                        "rejoins --rejoin-ms later)")
+    p.add_argument("--rejoin-ms", type=float, default=30_000.0,
+                   help="delay before a churned host rejoins (simulated ms)")
+    p.add_argument("--wave-fraction", type=float, default=0.0,
+                   help="churn-wave size as a fraction of all hosts "
+                        "(0 = no waves)")
+    p.add_argument("--wave-at-ms", type=float, nargs="*", default=[],
+                   metavar="T", help="churn-wave instants (simulated ms)")
+    p.add_argument("--kill-shard", type=int, default=0, metavar="I",
+                   help="kill shard I at 30%% of the run, recover at 50%% "
+                        "(default: shard 0; negative = no outage)")
+    p.add_argument("--staleness-max", type=float, default=0.5,
+                   help="p95 close-set drift the staleness gate tolerates")
+    p.add_argument("--event-log", metavar="PATH",
+                   help="write the byte-stable control-plane event log here")
+    p.add_argument("--json", metavar="PATH",
+                   help="write the soak report document (JSON) here")
 
     p = _subcommand(sub, "robustness", cmd_robustness,
                     "headline metrics across seeds")

@@ -1,0 +1,349 @@
+"""Incremental close-set repair under churn — parity-exact by construction.
+
+A surrogate's close cluster set (paper Fig. 9) is a function of (a) the
+AS graph, (b) *which clusters are online*, and (c) the probe matrix.
+Churn only moves (b), and only at the granularity of a cluster turning
+dark (last host left) or lighting up (first host back) — host counts
+above one never change the set.  So repair decomposes cleanly:
+
+- the BFS *reachability* (which ASes are visited, at what depth) depends
+  on membership only through each visited AS's expansion verdict
+  ("did any of its clusters pass the thresholds"; empty/transit ASes
+  always expand);
+- if no verdict flips, the visited set and depths are untouched and the
+  repair is a **local patch**: add the newly-online cluster at its AS's
+  recorded depth (threshold-checked), or evict the departed one;
+- if a verdict flips (or the change might make one flip), reachability
+  can shift arbitrarily far downstream — the maintainer **falls back to
+  a from-scratch build**, so parity holds by construction.
+
+The maintainer therefore guarantees: after :meth:`CloseSetMaintainer.
+drain`, every tracked set's ``entries`` dict is *identical* to what
+:func:`repro.core.close_cluster.construct_close_cluster_set` would
+build on the same membership — the property the parity tests and the
+soak's staleness gauge check.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.bgp.asgraph import ASGraph
+from repro.core.close_cluster import (
+    CloseClusterEntry,
+    CloseClusterSet,
+    construct_close_cluster_set,
+)
+from repro.core.config import ASAPConfig
+from repro.errors import ProtocolError
+
+__all__ = ["CloseSetMaintainer", "ClusterMembership", "MembershipEvent"]
+
+#: Event kinds the maintainer consumes (host granularity; the membership
+#: tracker collapses them to cluster online/offline transitions).
+EVENT_KINDS = ("host-join", "host-leave")
+
+
+@dataclass(frozen=True)
+class MembershipEvent:
+    """One host arriving in / departing from a prefix-cluster."""
+
+    at_ms: float
+    kind: str      # "host-join" | "host-leave"
+    cluster: int   # matrix index of the affected cluster
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ProtocolError(f"unknown membership event kind {self.kind!r}")
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"at_ms": round(self.at_ms, 3), "kind": self.kind, "cluster": self.cluster},
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+class ClusterMembership:
+    """Online host counts per cluster; reports 0↔1 transitions.
+
+    Only those transitions can change a close set — the BFS sees a
+    cluster, not its population — so everything else is a no-op the
+    maintainer counts but never repairs for.
+    """
+
+    def __init__(self, online_counts: Dict[int, int]) -> None:
+        self._counts: Dict[int, int] = {
+            int(cluster): int(count) for cluster, count in online_counts.items()
+        }
+
+    def online_count(self, cluster: int) -> int:
+        return self._counts.get(cluster, 0)
+
+    def is_online(self, cluster: int) -> bool:
+        return self._counts.get(cluster, 0) > 0
+
+    def online_only(self, clusters: List[int]) -> List[int]:
+        """Filter a static cluster list down to the online members."""
+        return [c for c in clusters if self.is_online(c)]
+
+    def apply(self, event: MembershipEvent) -> Optional[str]:
+        """Apply one event; returns ``"online"``/``"offline"`` on a
+        0↔1 transition, None when the cluster's state did not flip."""
+        before = self._counts.get(event.cluster, 0)
+        if event.kind == "host-join":
+            after = before + 1
+        else:
+            after = max(0, before - 1)
+        self._counts[event.cluster] = after
+        if before == 0 and after == 1:
+            return "online"
+        if before == 1 and after == 0:
+            return "offline"
+        return None
+
+
+class CloseSetMaintainer:
+    """Keeps tracked close sets parity-exact under membership churn.
+
+    ``clusters_in_as`` is the *static* AS→clusters table (e.g.
+    :meth:`ASAPSystem.clusters_in_as`); the maintainer composes it with
+    its :class:`ClusterMembership` so builds and verdicts see only
+    online clusters.  ``lat``/``loss`` are the surrogate probe callables
+    of the reference builder.
+    """
+
+    def __init__(
+        self,
+        graph: ASGraph,
+        membership: ClusterMembership,
+        clusters_in_as: Callable[[int], List[int]],
+        asn_of_cluster: Callable[[int], int],
+        lat: Callable[[int, int], Optional[float]],
+        loss: Callable[[int, int], Optional[float]],
+        config: Optional[ASAPConfig] = None,
+    ) -> None:
+        self._graph = graph
+        self._membership = membership
+        self._static_clusters_in_as = clusters_in_as
+        self._asn_of_cluster = asn_of_cluster
+        self._lat = lat
+        self._loss = loss
+        self._config = config if config is not None else ASAPConfig()
+        # owner cluster -> (maintained set, {asn: (depth, expands)})
+        self._tracked: Dict[int, Tuple[CloseClusterSet, Dict[int, Tuple[int, bool]]]] = {}
+        self._dormant: set = set()  # tracked owners whose cluster went dark
+        self._queue: Deque[MembershipEvent] = deque()
+        self.repair_log: List[str] = []
+        self.events_seen = 0
+        self.local_repairs = 0
+        self.rebuilds = 0
+        self.noops = 0
+
+    @classmethod
+    def from_system(cls, system, membership: Optional[ClusterMembership] = None):
+        """Wire a maintainer to a running :class:`ASAPSystem`."""
+        view = system.scenario.matrix_view()
+        if membership is None:
+            membership = ClusterMembership(
+                {idx: system.online_size(idx) for idx in range(len(view.asn_of))}
+            )
+        return cls(
+            graph=system.scenario.protocol_graph,
+            membership=membership,
+            clusters_in_as=system.clusters_in_as,
+            asn_of_cluster=lambda c: int(view.asn_of[c]),
+            lat=system._probe_lat,
+            loss=system._probe_loss,
+            config=system.config,
+        )
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def membership(self) -> ClusterMembership:
+        return self._membership
+
+    @property
+    def tracked(self) -> List[int]:
+        return sorted(self._tracked)
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def current(self, owner: int) -> CloseClusterSet:
+        """The maintained set of a tracked owner (drained or not)."""
+        try:
+            return self._tracked[owner][0]
+        except KeyError:
+            raise ProtocolError(f"cluster {owner} is not tracked") from None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def track(self, owner: int) -> CloseClusterSet:
+        """Start maintaining a cluster's close set (fresh build now)."""
+        if not self._membership.is_online(owner):
+            raise ProtocolError(f"cluster {owner} is offline; cannot track")
+        return self._build(owner)
+
+    def enqueue(self, event: MembershipEvent) -> None:
+        self._queue.append(event)
+
+    def drain(self) -> int:
+        """Process every queued event in arrival order; after this the
+        maintained sets match a from-scratch build on the resulting
+        membership.  Returns the number of events processed."""
+        processed = 0
+        while self._queue:
+            event = self._queue.popleft()
+            processed += 1
+            self.events_seen += 1
+            transition = self._membership.apply(event)
+            if transition is None:
+                self.noops += 1
+                continue
+            self._on_transition(event.cluster, transition, event.at_ms)
+        return processed
+
+    def staleness(self, owner: int) -> float:
+        """Divergence of the maintained set from a fresh build *right
+        now* — ``|maintained Δ fresh| / max(1, |fresh|)``.  Zero after a
+        drain; positive while repair events are still queued.  This is
+        the soak's convergence gauge (cf. :mod:`repro.core.maintenance`).
+        """
+        current = self.current(owner)
+        fresh = self._fresh(owner)
+        diff = set(current.entries.items()) ^ set(fresh.entries.items())
+        return len(diff) / max(1, len(fresh.entries))
+
+    # -- repair ------------------------------------------------------------------
+
+    def _on_transition(self, cluster: int, transition: str, at_ms: float) -> None:
+        # The flipped cluster may itself be a tracked owner.
+        if transition == "offline" and cluster in self._tracked:
+            del self._tracked[cluster]
+            self._dormant.add(cluster)
+            self._log(at_ms, "owner-dark", owner=cluster)
+        elif transition == "online" and cluster in self._dormant:
+            self._dormant.discard(cluster)
+            self._build(cluster)
+            self._log(at_ms, "owner-return", owner=cluster)
+        asn = int(self._asn_of_cluster(cluster))
+        for owner in sorted(self._tracked):
+            if owner == cluster:
+                continue  # just rebuilt above (owner-return)
+            self._repair_owner(owner, cluster, asn, transition, at_ms)
+
+    def _repair_owner(
+        self, owner: int, cluster: int, asn: int, transition: str, at_ms: float
+    ) -> None:
+        close_set, meta = self._tracked[owner]
+        if asn not in meta:
+            # The AS was never visited by this owner's BFS; membership
+            # inside it cannot affect any visited AS's verdict, so the
+            # set is untouched.
+            self.noops += 1
+            return
+        depth, old_verdict = meta[asn]
+        new_verdict = self._verdict(owner, asn, depth)
+        if new_verdict != old_verdict and depth < self._config.k_hops:
+            # Expansion rights through this AS flipped: reachability
+            # downstream may change arbitrarily — rebuild from scratch.
+            self._build(owner)
+            self._log(
+                at_ms, "rebuild", owner=owner, cluster=cluster, asn=asn,
+                verdict=new_verdict,
+            )
+            self.rebuilds += 1
+            obs.counter("control.maintainer.rebuilds").inc()
+            return
+        # Verdict unchanged (or the AS sits at the hop limit and never
+        # expands): the BFS shape is intact, patch the entries in place.
+        meta[asn] = (depth, new_verdict)
+        if transition == "offline":
+            close_set.entries.pop(cluster, None)
+        else:
+            measured = self._measure(owner, cluster)
+            if measured is not None:
+                rtt, lost = measured
+                if (
+                    rtt < self._config.lat_threshold_ms
+                    and lost < self._config.loss_threshold
+                    and cluster not in close_set.entries
+                ):
+                    close_set.entries[cluster] = CloseClusterEntry(
+                        cluster, rtt, lost, depth
+                    )
+        self._log(at_ms, "patch", owner=owner, cluster=cluster, op=transition)
+        self.local_repairs += 1
+        obs.counter("control.maintainer.local_repairs").inc()
+
+    # -- internals ----------------------------------------------------------------
+
+    def _clusters_in_as(self, asn: int) -> List[int]:
+        return self._membership.online_only(self._static_clusters_in_as(asn))
+
+    def _fresh(
+        self, owner: int, meta_out: Optional[Dict[int, Tuple[int, bool]]] = None
+    ) -> CloseClusterSet:
+        return construct_close_cluster_set(
+            owner,
+            int(self._asn_of_cluster(owner)),
+            self._graph,
+            self._clusters_in_as,
+            self._lat,
+            self._loss,
+            self._config,
+            meta_out=meta_out,
+        )
+
+    def _build(self, owner: int) -> CloseClusterSet:
+        meta: Dict[int, Tuple[int, bool]] = {}
+        close_set = self._fresh(owner, meta_out=meta)
+        self._tracked[owner] = (close_set, meta)
+        return close_set
+
+    def _measure(self, owner: int, other: int) -> Optional[Tuple[float, float]]:
+        rtt = self._lat(owner, other)
+        lost = self._loss(owner, other)
+        if rtt is None or lost is None:
+            return None
+        return rtt, lost
+
+    def _verdict(self, owner: int, asn: int, depth: int) -> bool:
+        """Expansion rights through one AS under current membership —
+        the same rule as ``_visit_as``: own AS and transit (empty) ASes
+        always expand, populated ASes need one threshold-passing probe."""
+        if depth == 0:
+            return True
+        clusters = self._clusters_in_as(asn)
+        if not clusters:
+            return True
+        for cluster in clusters:
+            measured = self._measure(owner, cluster)
+            if measured is None:
+                continue
+            rtt, lost = measured
+            if rtt < self._config.lat_threshold_ms and lost < self._config.loss_threshold:
+                return True
+        return False
+
+    def _log(self, at_ms: float, kind: str, **fields) -> None:
+        doc = {"at_ms": round(at_ms, 3), "kind": kind}
+        doc.update(fields)
+        self.repair_log.append(json.dumps(doc, sort_keys=True, separators=(",", ":")))
+
+    def stats(self) -> dict:
+        return {
+            "events_seen": self.events_seen,
+            "local_repairs": self.local_repairs,
+            "rebuilds": self.rebuilds,
+            "noops": self.noops,
+            "tracked": len(self._tracked),
+            "dormant": len(self._dormant),
+        }

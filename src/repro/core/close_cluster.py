@@ -74,6 +74,7 @@ def construct_close_cluster_set(
     lat: LatencyProbe,
     loss: LossProbe,
     config: Optional[ASAPConfig] = None,
+    meta_out: Optional[Dict[int, Tuple[int, bool]]] = None,
 ) -> CloseClusterSet:
     """Build the close cluster set for ``own_cluster`` whose AS is ``own_as``.
 
@@ -90,6 +91,11 @@ def construct_close_cluster_set(
     iteration order, which is what lets the vectorized flat-array
     builder (:mod:`repro.worldarrays.closesets`) reproduce it
     bit-for-bit.
+
+    ``meta_out``, when given, receives ``{asn: (depth, expands)}`` for
+    every visited AS — the BFS state the incremental maintainer
+    (:mod:`repro.control.maintainer`) needs to patch the set in place
+    when cluster membership changes.
     """
     if config is None:
         config = ASAPConfig()
@@ -114,6 +120,8 @@ def construct_close_cluster_set(
     # Valley-free BFS outward, level by level, with threshold-based
     # pruning per visited AS (latT/lossT "stop path expansion").
     expands: Dict[int, bool] = {own_as: True}
+    if meta_out is not None:
+        meta_out[own_as] = (0, True)
     visited: Set[Tuple[int, int]] = {(own_as, _PHASE_UP)}
     frontier: List[Tuple[int, int]] = [(own_as, _PHASE_UP)]
     for depth in range(1, config.k_hops + 1):
@@ -132,6 +140,8 @@ def construct_close_cluster_set(
             expands[asn] = _visit_as(
                 result, asn, depth, own_cluster, clusters_in_as, lat, loss, config
             )
+            if meta_out is not None:
+                meta_out[asn] = (depth, expands[asn])
         frontier = sorted(discovered)
 
     emit_build_observability(result, own_as)

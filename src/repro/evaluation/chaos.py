@@ -128,6 +128,95 @@ class ChaosResult:
         return rows
 
 
+def schedule_workload(
+    runtime: ASAPRuntime,
+    scenario: Scenario,
+    *,
+    duration_ms: float,
+    sessions: int,
+    joins: int,
+    media_duration_ms: float,
+    seed: int,
+    latent_target: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Schedule the deterministic join/call workload on a runtime.
+
+    Shared by :func:`run_chaos` and the churn soak
+    (:mod:`repro.evaluation.soak`): both draw from the *same*
+    ``derive_rng(seed, "chaos", "workload-times")`` stream in the same
+    order, so a zero-churn soak schedules the byte-identical workload a
+    static chaos run does.  Joins and call starts spread over the first
+    80% of the window so faults overlap live protocol activity.
+    Returns ``(joins_scheduled, calls_scheduled)``.
+    """
+    window = duration_ms * 0.8
+    rng = derive_rng(seed, "chaos", "workload-times")
+    workload = generate_workload(
+        scenario, max(sessions, 1), seed=seed, latent_target=latent_target
+    )
+    pool = workload.sessions
+    if latent_target:
+        latent = workload.latent()
+        latent_ids = {s.session_id for s in latent}
+        pool = latent + [s for s in pool if s.session_id not in latent_ids]
+
+    hosts = scenario.population.hosts
+    join_times = sorted(
+        round(float(t), 3) for t in rng.uniform(0.0, window, size=min(joins, len(hosts)))
+    )
+    for at, host in zip(join_times, hosts):
+        runtime.schedule_join(host.ip, at_ms=at)
+
+    call_times = sorted(
+        round(float(t), 3)
+        for t in rng.uniform(0.0, window, size=len(pool[:sessions]))
+    )
+    for at, session in zip(call_times, pool[:sessions]):
+        runtime.schedule_call(
+            session.caller,
+            session.callee,
+            at_ms=at,
+            media_duration_ms=media_duration_ms,
+        )
+    return len(join_times), len(call_times)
+
+
+def collect_chaos_result(
+    runtime: ASAPRuntime, seed: int, fault_events: int
+) -> ChaosResult:
+    """Distil a drained runtime's records into a :class:`ChaosResult`.
+
+    Raises :class:`EvaluationError` if any record failed to reach a
+    terminal outcome — the no-hang invariant chaos and soak CI enforce.
+    The caller attaches the fault log (injector-specific).
+    """
+    hung = runtime.pending_records()
+    if hung:
+        raise EvaluationError(
+            f"{len(hung)} records never reached a terminal outcome: {hung[:3]!r}"
+        )
+
+    result = ChaosResult(seed=seed, fault_events=fault_events)
+    for join in runtime.joins:
+        result.join_outcomes[join.outcome] += 1
+    for call in runtime.call_setups:
+        result.call_outcomes[call.outcome] += 1
+        if call.setup_ms is not None:
+            result.setup_times_ms.append(round(call.setup_ms, 3))
+    for media in runtime.media_sessions:
+        result.media_outcomes[media.outcome] += 1
+        for event in media.failovers:
+            if event.new_relay is not None:
+                result.failover_times_ms.append(round(event.failover_ms, 3))
+            result.interruption_times_ms.append(round(event.interruption_ms, 3))
+        if media.impact is not None:
+            result.mos_dips.append(round(media.impact.mos_dip, 4))
+    result.messages_sent = runtime.network.total_sent
+    result.messages_dropped = runtime.network.dropped
+    result.request_timeouts = runtime.network.total_timeouts
+    return result
+
+
 def run_chaos(
     scenario: Scenario,
     fault_config: FaultScheduleConfig,
@@ -156,65 +245,23 @@ def run_chaos(
     injector = FaultInjector(runtime, schedule)
     injector.install()
 
-    window = fault_config.duration_ms * 0.8
-    rng = derive_rng(seed, "chaos", "workload-times")
-    workload = generate_workload(
-        scenario, max(sessions, 1), seed=seed, latent_target=latent_target
-    )
-    pool = workload.sessions
-    if latent_target:
-        latent = workload.latent()
-        latent_ids = {s.session_id for s in latent}
-        pool = latent + [s for s in pool if s.session_id not in latent_ids]
-
-    hosts = scenario.population.hosts
-    join_times = sorted(
-        round(float(t), 3) for t in rng.uniform(0.0, window, size=min(joins, len(hosts)))
-    )
-    with obs.span("chaos.run", sessions=sessions, joins=len(join_times),
+    planned_joins = min(joins, len(scenario.population.hosts))
+    with obs.span("chaos.run", sessions=sessions, joins=planned_joins,
                   fault_events=len(schedule)):
-        for at, host in zip(join_times, hosts):
-            runtime.schedule_join(host.ip, at_ms=at)
-
-        call_times = sorted(
-            round(float(t), 3)
-            for t in rng.uniform(0.0, window, size=len(pool[:sessions]))
+        schedule_workload(
+            runtime,
+            scenario,
+            duration_ms=fault_config.duration_ms,
+            sessions=sessions,
+            joins=joins,
+            media_duration_ms=media_duration_ms,
+            seed=seed,
+            latent_target=latent_target,
         )
-        for at, session in zip(call_times, pool[:sessions]):
-            runtime.schedule_call(
-                session.caller,
-                session.callee,
-                at_ms=at,
-                media_duration_ms=media_duration_ms,
-            )
-
         runtime.run()
 
-    hung = runtime.pending_records()
-    if hung:
-        raise EvaluationError(
-            f"{len(hung)} records never reached a terminal outcome: {hung[:3]!r}"
-        )
-
-    result = ChaosResult(seed=seed, fault_events=len(schedule))
-    for join in runtime.joins:
-        result.join_outcomes[join.outcome] += 1
-    for call in runtime.call_setups:
-        result.call_outcomes[call.outcome] += 1
-        if call.setup_ms is not None:
-            result.setup_times_ms.append(round(call.setup_ms, 3))
-    for media in runtime.media_sessions:
-        result.media_outcomes[media.outcome] += 1
-        for event in media.failovers:
-            if event.new_relay is not None:
-                result.failover_times_ms.append(round(event.failover_ms, 3))
-            result.interruption_times_ms.append(round(event.interruption_ms, 3))
-        if media.impact is not None:
-            result.mos_dips.append(round(media.impact.mos_dip, 4))
+    result = collect_chaos_result(runtime, seed, fault_events=len(schedule))
     result.fault_log = injector.log_lines()
-    result.messages_sent = runtime.network.total_sent
-    result.messages_dropped = runtime.network.dropped
-    result.request_timeouts = runtime.network.total_timeouts
     obs.counter("chaos.runs").inc()
     obs.counter("chaos.failovers").inc(result.failovers)
     return result

@@ -23,6 +23,7 @@ from repro.faults.config import (
     ChurnWave,
     FaultScheduleConfig,
     LossBurst,
+    ShardOutage,
 )
 from repro.faults.injector import FaultInjector, FaultLogEntry
 from repro.faults.schedule import FaultEvent, FaultSchedule, compile_schedule
@@ -37,5 +38,6 @@ __all__ = [
     "FaultSchedule",
     "FaultScheduleConfig",
     "LossBurst",
+    "ShardOutage",
     "compile_schedule",
 ]

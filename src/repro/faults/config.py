@@ -81,6 +81,26 @@ class LossBurst:
 
 
 @dataclass(frozen=True, kw_only=True)
+class ShardOutage:
+    """One directory shard is down (process crash) during a window.
+
+    Only meaningful when the run drives a sharded control plane (the
+    churn soak); the injector skips it otherwise.  Recovery restarts
+    the shard empty — soft state re-registers.
+    """
+
+    shard: int
+    start_ms: float
+    duration_ms: float
+
+    def __post_init__(self) -> None:
+        if self.shard < 0:
+            raise ConfigurationError("shard index must be >= 0")
+        if self.start_ms < 0 or self.duration_ms <= 0:
+            raise ConfigurationError("shard outage window must be positive")
+
+
+@dataclass(frozen=True, kw_only=True)
 class FaultScheduleConfig:
     """Full description of one fault-injection experiment.
 
@@ -110,6 +130,8 @@ class FaultScheduleConfig:
     loss_bursts: Tuple[LossBurst, ...] = ()
     #: Uniform background message-loss probability for the whole run.
     message_loss_rate: float = 0.0
+    #: Directory shard failure windows (soak runs; no-ops elsewhere).
+    shard_outages: Tuple[ShardOutage, ...] = ()
 
     def __post_init__(self) -> None:
         if self.duration_ms <= 0:
@@ -137,6 +159,7 @@ class FaultScheduleConfig:
             and self.random_as_outages == 0
             and not self.loss_bursts
             and self.message_loss_rate == 0.0
+            and not self.shard_outages
         )
 
     @classmethod

@@ -45,9 +45,12 @@ class FaultLogEntry:
 class FaultInjector:
     """Wires a :class:`FaultSchedule` into a runtime's simulator."""
 
-    def __init__(self, runtime, schedule: FaultSchedule) -> None:
+    def __init__(self, runtime, schedule: FaultSchedule, directory=None) -> None:
         self._runtime = runtime
         self._schedule = schedule
+        #: Optional :class:`~repro.control.directory.ShardedDirectory`
+        #: for shard-down/up events (soak runs wire one in).
+        self._directory = directory
         self.log: List[FaultLogEntry] = []
         self._installed = False
 
@@ -234,5 +237,17 @@ class FaultInjector:
         if kind == "background-loss":
             network.set_background_loss(event.value or 0.0)
             return "applied", f"rate={event.value}"
+
+        if kind in ("shard-down", "shard-up"):
+            if self._directory is None:
+                return "skipped", "no sharded directory"
+            shard = int(value)
+            if shard >= self._directory.shard_count:
+                return "skipped", f"only {self._directory.shard_count} shards"
+            if kind == "shard-down":
+                self._directory.set_shard_down(shard, runtime.sim.now_ms)
+            else:
+                self._directory.set_shard_up(shard, runtime.sim.now_ms)
+            return "applied", ""
 
         return "skipped", f"unknown kind {kind!r}"

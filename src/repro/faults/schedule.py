@@ -28,6 +28,10 @@ EVENT_KINDS = (
     "loss-burst-start",
     "loss-burst-end",
     "background-loss",
+    # Appended (never inserted): EVENT_KINDS order is the sort tie-break,
+    # so extending at the end keeps existing schedules byte-stable.
+    "shard-down",
+    "shard-up",
 )
 
 
@@ -199,6 +203,18 @@ def compile_schedule(
                 kind="background-loss",
                 target="net",
                 value=config.message_loss_rate,
+            )
+        )
+
+    # Directory shard failure windows (live control plane runs).
+    for outage in config.shard_outages:
+        target = f"shard:{outage.shard}"
+        events.append(FaultEvent(at_ms=round(outage.start_ms, 3), kind="shard-down", target=target))
+        events.append(
+            FaultEvent(
+                at_ms=round(outage.start_ms + outage.duration_ms, 3),
+                kind="shard-up",
+                target=target,
             )
         )
 

@@ -38,6 +38,7 @@ from repro.net.codec import (
     JoinOk,
     Keepalive,
     KeepaliveAck,
+    Leave,
     Media,
     NodalPublish,
     Ping,
@@ -74,6 +75,7 @@ __all__ = [
     "JoinOk",
     "Keepalive",
     "KeepaliveAck",
+    "Leave",
     "LoopbackHub",
     "LoopbackTransport",
     "Media",

@@ -63,6 +63,7 @@ __all__ = [
     "JoinOk",
     "Keepalive",
     "KeepaliveAck",
+    "Leave",
     "Media",
     "Message",
     "NodalPublish",
@@ -770,6 +771,20 @@ class Bye(Message):
 
     call_id: int
     reason: str
+
+
+@_register
+@dataclass(frozen=True)
+class Leave(Message):
+    """Bootstrap deregistration (oneway): a node exits the overlay.
+
+    Best-effort — a crashed node never sends one, so the directory's
+    TTL sweep remains the authoritative garbage collector."""
+
+    TYPE = 0x13
+    FIELDS = (("ip", "ip"),)
+
+    ip: IPv4Address
 
 
 @_register

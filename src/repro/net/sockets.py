@@ -12,6 +12,12 @@ header's ``request_id``.  A peer that is down surfaces as
 :class:`repro.errors.TransportTimeout` (fast on connection refusal,
 after ``timeout_ms`` on silence), mirroring the loopback's unreachable
 semantics so retry policies behave identically on both substrates.
+
+Each pooled connection caps its in-flight requests (``max_in_flight``)
+with a bounded wait queue behind it (``max_waiters``): a full queue
+rejects immediately as a :class:`TransportTimeout` (counted in
+``wire.backpressure_rejected``), so a slow peer degrades into timeouts
+the retry policies already handle instead of unbounded buffering.
 """
 
 from __future__ import annotations
@@ -19,7 +25,8 @@ from __future__ import annotations
 import asyncio
 import itertools
 import time
-from typing import Dict, Optional
+from collections import deque
+from typing import Deque, Dict, Optional
 
 from repro import obs
 from repro.errors import FrameError, RemoteError, TransportTimeout
@@ -49,22 +56,70 @@ class _Conn:
         self,
         reader: asyncio.StreamReader,
         writer: asyncio.StreamWriter,
+        max_in_flight: int = 64,
+        max_waiters: int = 128,
     ) -> None:
         self.reader = reader
         self.writer = writer
         self.decoder = FrameDecoder()
         self.task: Optional[asyncio.Task] = None
+        self.max_in_flight = max_in_flight
+        self.max_waiters = max_waiters
+        self.in_flight = 0
+        self.waiters: Deque[asyncio.Future] = deque()
 
     def alive(self) -> bool:
         return not self.writer.is_closing()
+
+    # -- backpressure -------------------------------------------------------
+
+    def try_acquire(self) -> bool:
+        """Claim an in-flight slot if one is free."""
+        if self.in_flight < self.max_in_flight:
+            self.in_flight += 1
+            return True
+        return False
+
+    def enqueue_waiter(self) -> Optional[asyncio.Future]:
+        """Queue for the next freed slot; None when the queue is full."""
+        if len(self.waiters) >= self.max_waiters:
+            return None
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self.waiters.append(future)
+        return future
+
+    def release(self) -> None:
+        """Free a slot — handed straight to the next live waiter (the
+        in-flight count never dips, so the cap is exact under load)."""
+        while self.waiters:
+            waiter = self.waiters.popleft()
+            if not waiter.done():
+                waiter.set_result(None)
+                return
+        self.in_flight = max(0, self.in_flight - 1)
+
+    def fail_waiters(self) -> None:
+        """Connection died: every queued waiter times out now."""
+        while self.waiters:
+            waiter = self.waiters.popleft()
+            if not waiter.done():
+                waiter.set_exception(TransportTimeout("connection closed"))
 
 
 class TcpTransport(Transport):
     """A TCP endpoint: one listening socket plus pooled client sockets."""
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_in_flight: int = 64,
+        max_waiters: int = 128,
+    ) -> None:
         self._host = host
         self._port = port
+        self._max_in_flight = max_in_flight
+        self._max_waiters = max_waiters
         self._handler: Optional[Handler] = None
         self._server: Optional[asyncio.base_events.Server] = None
         self._conns: Dict[str, _Conn] = {}
@@ -96,6 +151,7 @@ class TcpTransport(Transport):
         for conn in self._conns.values():
             if conn.task is not None:
                 conn.task.cancel()
+            conn.fail_waiters()
             conn.writer.close()
         self._conns.clear()
         for task in list(self._inbound_tasks):
@@ -126,7 +182,7 @@ class TcpTransport(Transport):
             reader, writer = await asyncio.open_connection(host, int(port))
         except (OSError, ValueError) as exc:
             raise TransportTimeout(f"cannot connect to {addr}: {exc}") from exc
-        conn = _Conn(reader, writer)
+        conn = _Conn(reader, writer, self._max_in_flight, self._max_waiters)
         conn.task = asyncio.get_running_loop().create_task(self._pump(conn))
         self._conns[addr] = conn
         return conn
@@ -146,6 +202,7 @@ class TcpTransport(Transport):
         except (asyncio.CancelledError, FrameError, OSError):
             pass
         finally:
+            conn.fail_waiters()
             conn.writer.close()
 
     def _complete(self, frame: Frame) -> None:
@@ -162,14 +219,39 @@ class TcpTransport(Transport):
         except (TransportTimeout, OSError):
             obs.counter("wire.dropped").inc()
 
+    async def _acquire_slot(self, conn: _Conn, addr: str, timeout_ms: float) -> None:
+        """Claim an in-flight slot, waiting (bounded) under backpressure."""
+        if conn.try_acquire():
+            return
+        waiter = conn.enqueue_waiter()
+        if waiter is None:
+            obs.counter("wire.backpressure_rejected").inc()
+            obs.counter("wire.timeouts").inc()
+            raise TransportTimeout(
+                f"{addr} backpressure: {conn.in_flight} in flight, "
+                f"{conn.max_waiters} waiting"
+            )
+        try:
+            await asyncio.wait_for(asyncio.shield(waiter), timeout_ms / 1000.0)
+        except asyncio.TimeoutError:
+            if waiter.done() and not waiter.cancelled() and waiter.exception() is None:
+                conn.release()  # the slot arrived exactly as we gave up
+            else:
+                waiter.cancel()
+            obs.counter("wire.timeouts").inc()
+            raise TransportTimeout(
+                f"no free slot to {addr} within {timeout_ms} ms"
+            ) from None
+
     async def request(self, addr: str, message: Message, timeout_ms: float) -> Message:
         request_id = next(self._request_seq)
         data = encode_frame(message, REQUEST, request_id)
         obs.counter("wire.sent").inc()
+        conn = await self._get_conn(addr)
+        await self._acquire_slot(conn, addr, timeout_ms)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         try:
-            conn = await self._get_conn(addr)
             conn.writer.write(data)
             await conn.writer.drain()
             try:
@@ -181,6 +263,7 @@ class TcpTransport(Transport):
                 ) from None
         finally:
             self._pending.pop(request_id, None)
+            conn.release()
         if frame.flags == ERROR:
             assert isinstance(frame.message, ErrorFrame)
             raise RemoteError(frame.message.code, frame.message.detail)

@@ -162,7 +162,7 @@ class RunObserver:
         """The run manifest as a plain dict (see :mod:`repro.obs.manifest`)."""
         snapshot = self.registry.snapshot()
         counters = snapshot["counters"]
-        known = {"seed", "scale", "config_key", "workers", "parallel"}
+        known = {"seed", "scale", "config_key", "workers", "parallel", "soak"}
         return {
             "schema": MANIFEST_SCHEMA_VERSION,
             "run_id": self.run_id,
@@ -177,6 +177,7 @@ class RunObserver:
             "config_key": self.annotations.get("config_key"),
             "workers": self.annotations.get("workers"),
             "parallel": self.annotations.get("parallel"),
+            "soak": self.annotations.get("soak"),
             "cache": {
                 "scenario_hits": counters.get("cache.scenario.hits", 0),
                 "scenario_misses": counters.get("cache.scenario.misses", 0),

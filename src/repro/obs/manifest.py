@@ -36,7 +36,10 @@ __all__ = [
 #: v3: top-level ``parallel`` block (per-chunk sizes/timings and resolved
 #: worker count of the run's parallel matrix build, null for serial runs)
 #: replaces reading ``matrix.LAST_PARALLEL_STATS`` out of the process.
-MANIFEST_SCHEMA_VERSION = 3
+#: v4: optional top-level ``soak`` block — the churn soak's gate verdicts
+#: (steady-state registry, directory convergence, staleness bound,
+#: terminal calls) plus the directory/repair accounting behind them.
+MANIFEST_SCHEMA_VERSION = 4
 
 #: Canonical file name of a run manifest inside an observability directory.
 MANIFEST_FILENAME = "run_manifest.json"
@@ -57,6 +60,7 @@ MANIFEST_SCHEMA: Dict[str, Tuple[tuple, bool]] = {
     "config_key": ((str, _NoneType), True),
     "workers": ((int, _NoneType), True),
     "parallel": ((dict, _NoneType), False),
+    "soak": ((dict, _NoneType), False),
     "cache": ((dict,), True),
     "network": ((dict,), False),
     "counters": ((dict,), True),
@@ -86,6 +90,16 @@ _NETWORK_FIELDS = (
     "messages_dropped",
     "request_timeouts",
 )
+
+#: Required members of the optional ``soak`` sub-document: the gate
+#: verdicts are booleans, the rest is accounting the gates summarize.
+_SOAK_BOOL_FIELDS = (
+    "registry_bounded",
+    "directory_converged",
+    "staleness_bounded",
+    "calls_terminal",
+)
+_SOAK_FIELDS = _SOAK_BOOL_FIELDS + ("ok", "seed", "sim_minutes", "shards")
 
 
 def validate_manifest(document: dict) -> List[str]:
@@ -125,6 +139,14 @@ def validate_manifest(document: dict) -> List[str]:
         for field in _NETWORK_FIELDS:
             if not isinstance(network.get(field), int):
                 problems.append(f"network.{field} must be an integer")
+    soak = document.get("soak")
+    if isinstance(soak, dict):
+        for field in _SOAK_FIELDS:
+            if field not in soak:
+                problems.append(f"soak missing field {field!r}")
+        for field in _SOAK_BOOL_FIELDS + ("ok",):
+            if field in soak and not isinstance(soak[field], bool):
+                problems.append(f"soak.{field} must be a boolean")
     counters = document.get("counters")
     if isinstance(counters, dict):
         for key, value in counters.items():

@@ -14,12 +14,14 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from repro import obs
+from repro.control.sharding import HashRing
 from repro.net.codec import (
     ERR_NOT_SERVING,
     ROLE_SURROGATE,
     ErrorFrame,
     Join,
     JoinOk,
+    Leave,
     Message,
     Ping,
     Pong,
@@ -35,39 +37,66 @@ __all__ = ["BootstrapServer"]
 
 
 class BootstrapServer(ServiceNode):
-    """Registration + directory over one :class:`ServiceWorld`."""
+    """Registration + directory over one :class:`ServiceWorld`.
 
-    def __init__(self, world: ServiceWorld, transport: Transport) -> None:
-        super().__init__(transport, name="bootstrap")
+    A server may be one shard of a sharded control plane: give it a
+    ``ring`` and its ``shard_id`` and it still answers every request
+    (clients fail over freely), but joins for IPs another shard owns
+    are tallied in ``foreign_joins`` so tests can assert the router
+    sends traffic where the ring says it belongs.
+    """
+
+    def __init__(
+        self,
+        world: ServiceWorld,
+        transport: Transport,
+        shard_id: int = 0,
+        ring: Optional[HashRing] = None,
+    ) -> None:
+        super().__init__(transport, name=f"bootstrap-{shard_id}" if ring else "bootstrap")
         self._world = world
+        self.shard_id = shard_id
+        self.ring = ring
         #: ip string -> advertised wire address, filled by joins.
         self.directory: Dict[str, str] = {}
         #: cluster index -> (surrogate ip, wire address) of the daemon
         #: that registered to serve it.
         self.surrogates: Dict[int, Tuple[IPv4Address, str]] = {}
         self.joins = 0
+        self.duplicate_joins = 0
+        self.foreign_joins = 0
+        self.leaves = 0
         self.handle(Join, self._on_join)
+        self.handle(Leave, self._on_leave)
         self.handle(Resolve, self._on_resolve)
         self.handle(Ping, self._on_ping)
 
     async def _on_join(self, sender: str, message: Join) -> Message:
-        self.directory[str(message.ip)] = message.wire_addr
+        ip_key = str(message.ip)
+        duplicate = ip_key in self.directory
+        self.directory[ip_key] = message.wire_addr
         self.joins += 1
+        if duplicate:
+            self.duplicate_joins += 1
+            obs.counter("service.duplicate_joins").inc()
         obs.counter("service.joins").inc()
+        cluster = (
+            message.cluster
+            if message.role == ROLE_SURROGATE and message.cluster >= 0
+            else self._world.cluster_of_ip(message.ip)
+        )
+        if self.ring is not None and self.ring.owner(cluster) != self.shard_id:
+            self.foreign_joins += 1
+            obs.counter("service.foreign_joins").inc()
         if message.role == ROLE_SURROGATE:
-            cluster = (
-                message.cluster
-                if message.cluster >= 0
-                else self._world.cluster_of_ip(message.ip)
-            )
             self.surrogates[cluster] = (message.ip, message.wire_addr)
             return JoinOk(
                 cluster=cluster,
                 surrogate_ip=message.ip,
                 surrogate_addr=message.wire_addr,
             )
-        cluster = self._world.cluster_of_ip(message.ip)
-        self._world.system.join(message.ip)
+        if not duplicate:
+            self._world.system.join(message.ip)
         serving = self.surrogates.get(cluster)
         if serving is None:
             return ErrorFrame(
@@ -80,6 +109,16 @@ class BootstrapServer(ServiceNode):
             surrogate_ip=surrogate_ip,
             surrogate_addr=surrogate_addr,
         )
+
+    async def _on_leave(self, sender: str, message: Leave) -> Optional[Message]:
+        """Best-effort deregistration (oneway, so no response frame).
+
+        Unknown IPs are ignored — a Leave racing a TTL sweep or a
+        duplicate Leave must not fault the directory."""
+        if self.directory.pop(str(message.ip), None) is not None:
+            self.leaves += 1
+            obs.counter("service.leaves").inc()
+        return None
 
     async def _on_resolve(self, sender: str, message: Resolve) -> Message:
         addr = self.directory.get(str(message.ip))

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro import obs
+from repro.control.sharding import BootstrapRouter, HashRing
 from repro.core.relay_selection import ranked_relay_clusters
 from repro.core.runtime import RuntimePolicy
 from repro.errors import ServiceError
@@ -53,6 +54,10 @@ class DemoResult:
     calls: List[DialResult] = field(default_factory=list)
     surrogate_count: int = 0
     host_count: int = 0
+    shard_count: int = 1
+    #: Joins each bootstrap shard served for clusters another shard
+    #: owns — all zeros while every shard is up (the router routes).
+    foreign_joins: List[int] = field(default_factory=list)
     #: media frames each callee actually received, keyed by call index.
     media_delivered: List[int] = field(default_factory=list)
     #: final virtual time of the loopback hub (0.0 on tcp).
@@ -99,9 +104,33 @@ async def _demo_main(
     media_ms: float,
     policy: RuntimePolicy,
     result: DemoResult,
+    shards: int = 1,
 ) -> None:
-    bootstrap = BootstrapServer(world, make_transport(str(world.bootstrap_host.ip)))
-    await bootstrap.start()
+    # One bootstrap per shard; shard 0 keeps the single-shard address
+    # (and the plain "bootstrap" node name) so shards=1 runs are
+    # byte-identical to the pre-sharding harness.
+    ring = HashRing(shards) if shards > 1 else None
+    bootstraps: List[BootstrapServer] = []
+    for shard in range(shards):
+        addr_key = (
+            str(world.bootstrap_host.ip)
+            if shard == 0
+            else f"{world.bootstrap_host.ip}+{shard}"
+        )
+        server = BootstrapServer(
+            world, make_transport(addr_key), shard_id=shard, ring=ring
+        )
+        await server.start()
+        bootstraps.append(server)
+    result.shard_count = shards
+    router = (
+        BootstrapRouter(ring, [s.address for s in bootstraps], world.cluster_of_ip)
+        if ring is not None
+        else None
+    )
+
+    def bootstrap_for(cluster: int) -> BootstrapServer:
+        return bootstraps[ring.owner(cluster)] if ring is not None else bootstraps[0]
 
     surrogates: List[SurrogateServer] = []
     for cluster in world.populated_clusters():
@@ -109,7 +138,7 @@ async def _demo_main(
             world,
             cluster,
             make_transport(str(world.surrogate_ip(cluster))),
-            bootstrap.address,
+            bootstrap_for(cluster).address,
         )
         await server.start()
         await server.register()
@@ -121,7 +150,11 @@ async def _demo_main(
     agents: Dict[IPv4Address, HostAgent] = {}
     for ip in list(endpoint_ips) + relay_ips:
         agent = HostAgent(
-            world, ip, make_transport(str(ip)), bootstrap.address, policy
+            world,
+            ip,
+            make_transport(str(ip)),
+            router if router is not None else bootstraps[0].address,
+            policy,
         )
         await agent.start()
         agents[ip] = agent
@@ -141,11 +174,14 @@ async def _demo_main(
         received = sum(agents[callee].media_received.values())
         result.media_delivered.append(received)
 
+    result.foreign_joins = [server.foreign_joins for server in bootstraps]
+
     for agent in agents.values():
         await agent.close()
     for server in surrogates:
         await server.close()
-    await bootstrap.close()
+    for server in bootstraps:
+        await server.close()
 
 
 def run_demo(
@@ -158,6 +194,7 @@ def run_demo(
     policy: Optional[RuntimePolicy] = None,
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
+    shards: int = 1,
 ) -> DemoResult:
     """Build a world, run a full overlay in-process, place latent calls."""
     if world is None:
@@ -186,7 +223,7 @@ def run_demo(
         make = lambda addr: LoopbackTransport(hub, addr)
         obs.tracer().clock = lambda: hub.now_ms
         asyncio.run(
-            hub.run(_demo_main(world, make, pairs, media_ms, policy, result))
+            hub.run(_demo_main(world, make, pairs, media_ms, policy, result, shards))
         )
         result.virtual_ms = hub.now_ms
         result.wire_deliveries = hub.deliveries
@@ -220,7 +257,7 @@ def run_demo(
                 return world.scenario.latency.host_rtt_ms(a, b)
 
         make = lambda addr_key: _RegisteringShaped(TcpTransport(), addr_key)
-        asyncio.run(_demo_main(world, make, pairs, media_ms, policy, result))
+        asyncio.run(_demo_main(world, make, pairs, media_ms, policy, result, shards))
     else:
         raise ServiceError(f"unknown transport {transport!r} (loopback|tcp)")
     return result

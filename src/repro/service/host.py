@@ -27,9 +27,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro import obs
+from repro.control.sharding import BootstrapRouter
 from repro.core.close_cluster import CloseClusterSet
 from repro.core.relay_selection import (
     RelaySelection,
@@ -49,6 +50,7 @@ from repro.net.codec import (
     JoinOk,
     Keepalive,
     KeepaliveAck,
+    Leave,
     Media,
     Message,
     NodalPublish,
@@ -123,14 +125,23 @@ class HostAgent(ServiceNode):
         world: ServiceWorld,
         ip: IPv4Address,
         transport: Transport,
-        bootstrap_addr: str,
+        bootstrap_addr: Union[str, BootstrapRouter],
         policy: Optional[RuntimePolicy] = None,
     ) -> None:
         super().__init__(transport, name=f"host-{ip}")
         self._world = world
         self.ip = ip
         self.host = world.host(ip)
-        self._bootstrap_addr = bootstrap_addr
+        # A plain address is the degenerate single-shard control plane;
+        # the router generalizes every bootstrap exchange to a sharded
+        # one without changing the single-shard message sequence.
+        self._router = (
+            bootstrap_addr
+            if isinstance(bootstrap_addr, BootstrapRouter)
+            else BootstrapRouter.single(bootstrap_addr)
+        )
+        self._bootstrap_addr = self._router.owner_addr(ip)
+        self._joined_addr: Optional[str] = None
         self._policy = policy if policy is not None else RuntimePolicy()
         self.cluster: Optional[int] = None
         self.surrogate_ip: Optional[IPv4Address] = None
@@ -178,15 +189,11 @@ class HostAgent(ServiceNode):
 
     async def _on_relay_setup(self, sender: str, message: RelaySetup) -> Message:
         """Accept relay duty: resolve the callee and start forwarding."""
-        reply = await self.transport.request(
-            self._bootstrap_addr,
-            Resolve(ip=message.callee_ip),
-            timeout_ms=self._policy.ping_timeout_ms,
-        )
-        if not isinstance(reply, ResolveOk) or not reply.found:
+        callee_addr = await self._resolve(message.callee_ip)
+        if callee_addr is None:
             raise ServiceError(f"relay cannot resolve callee {message.callee_ip}")
         self._relaying[message.call_id] = _RelayState(
-            message.caller_ip, message.callee_ip, reply.addr
+            message.caller_ip, message.callee_ip, callee_addr
         )
         self.relayed_calls += 1
         obs.counter("service.relays_accepted").inc()
@@ -242,17 +249,22 @@ class HostAgent(ServiceNode):
         return reply
 
     async def _resolve(self, ip: IPv4Address) -> Optional[str]:
-        """Directory lookup; None when no running agent registered it."""
-        try:
-            reply = await self.transport.request(
-                self._bootstrap_addr,
-                Resolve(ip=ip),
-                timeout_ms=self._policy.ping_timeout_ms,
-            )
-        except TransportError:
-            return None
-        if isinstance(reply, ResolveOk) and reply.found:
-            return reply.addr
+        """Directory lookup; None when no running agent registered it.
+
+        Walks the target's shard preference chain: a host that joined
+        through a failover shard (its owner was down) is registered
+        there, so the lookup must look past a dead or empty owner."""
+        for addr in self._router.addrs_for(ip):
+            try:
+                reply = await self.transport.request(
+                    addr,
+                    Resolve(ip=ip),
+                    timeout_ms=self._policy.ping_timeout_ms,
+                )
+            except TransportError:
+                continue
+            if isinstance(reply, ResolveOk) and reply.found:
+                return reply.addr
         return None
 
     # -- join (§6.1) -------------------------------------------------------
@@ -263,11 +275,16 @@ class HostAgent(ServiceNode):
         tracer.clock = self.now_ms
         span = tracer.begin("join", self.now_ms(), ip=str(self.ip), asn=self.host.asn)
         message = Join(ip=self.ip, role=ROLE_HOST, cluster=-1, wire_addr=self.address)
+        # Retries rotate through the shard preference chain: attempt 0
+        # hits the owner, later attempts its ring successors (with one
+        # shard every attempt lands on the same server, as before).
+        addrs = self._router.addrs_for(self.ip)
         for attempt in range(self._policy.max_join_attempts):
+            bootstrap_addr = addrs[attempt % len(addrs)]
             try:
                 reply = await self._request(
                     span,
-                    self._bootstrap_addr,
+                    bootstrap_addr,
                     message,
                     self._policy.join_timeout_ms,
                     category="join-request",
@@ -290,6 +307,7 @@ class HostAgent(ServiceNode):
             self.surrogate_ip = reply.surrogate_ip
             self.surrogate_addr = reply.surrogate_addr
             self.joined = True
+            self._joined_addr = bootstrap_addr
             info = self.host.info
             await self.transport.send(
                 self.surrogate_addr,
@@ -304,6 +322,18 @@ class HostAgent(ServiceNode):
             span.end(self.now_ms(), outcome="completed")
             return True
         return False
+
+    async def leave(self) -> None:
+        """Deregister (best-effort, oneway) from the shard we joined
+        through — crashed hosts never send this; the TTL sweep is the
+        directory's real garbage collector."""
+        if not self.joined:
+            return
+        addr = self._joined_addr or self._bootstrap_addr
+        await self.transport.send(addr, Leave(ip=self.ip))
+        obs.counter("service.hosts_left").inc()
+        self.joined = False
+        self._joined_addr = None
 
     # -- call setup + media (§6.4, §6.5) -----------------------------------
 

@@ -65,8 +65,15 @@ class FlatCloseSetBuilder:
             for asn in self._csr.as_ids
         ]
 
-    def build(self, own_cluster: int, own_as: int) -> CloseClusterSet:
-        """The close cluster set of one source cluster."""
+    def build(
+        self, own_cluster: int, own_as: int, meta_out: Optional[dict] = None
+    ) -> CloseClusterSet:
+        """The close cluster set of one source cluster.
+
+        ``meta_out`` mirrors the reference builder's hook: it receives
+        ``{asn: (depth, expands)}`` for every visited AS, identical to
+        what :func:`construct_close_cluster_set` records.
+        """
         config = self._config
         csr = self._csr
         result = CloseClusterSet(owner=own_cluster)
@@ -79,6 +86,8 @@ class FlatCloseSetBuilder:
         # Level 0: own cluster plus co-located clusters.
         self._probe_as(result, own_cluster, own_idx, depth=0)
         result.ases_visited = 1
+        if meta_out is not None:
+            meta_out[own_as] = (0, True)
 
         count = csr.count
         up = np.zeros(count, dtype=bool)
@@ -100,6 +109,8 @@ class FlatCloseSetBuilder:
             for as_idx in np.nonzero(fresh)[0]:
                 result.ases_visited += 1
                 expands[as_idx] = self._probe_as(result, own_cluster, int(as_idx), depth)
+                if meta_out is not None:
+                    meta_out[int(csr.as_ids[as_idx])] = (depth, bool(expands[as_idx]))
 
         emit_build_observability(result, own_as)
         return result

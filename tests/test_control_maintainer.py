@@ -1,0 +1,211 @@
+"""Incremental close-set repair: parity-exact against the fresh builder.
+
+The core property under test: after ``drain()``, every tracked set's
+``entries`` equals what :func:`construct_close_cluster_set` builds from
+scratch on the same membership — for any seeded interleaving of join
+and leave events, with drains at arbitrary points.
+"""
+
+import random
+
+import pytest
+
+from repro.bgp import ASGraph
+from repro.control import ClusterMembership, CloseSetMaintainer, MembershipEvent
+from repro.core import ASAPConfig, construct_close_cluster_set
+from repro.errors import ProtocolError
+
+
+def diamond():
+    """1-peer-2 core; 3, 4 customers; 5 multihomed below both."""
+    g = ASGraph()
+    g.add_peer(1, 2)
+    g.add_provider_customer(1, 3)
+    g.add_provider_customer(2, 4)
+    g.add_provider_customer(3, 5)
+    g.add_provider_customer(4, 5)
+    return g
+
+
+def chain():
+    """1 -> 3 -> 5: AS 1 reachable from 5 only through AS 3."""
+    g = ASGraph()
+    g.add_provider_customer(1, 3)
+    g.add_provider_customer(3, 5)
+    return g
+
+
+def make_maintainer(graph, lat_map, clusters_map, asn_of, counts, config=None):
+    def lat(own, other):
+        return lat_map.get((own, other), lat_map.get((other, own)))
+
+    def loss(own, other):
+        return 0.0 if lat(own, other) is not None else None
+
+    membership = ClusterMembership(counts)
+    maintainer = CloseSetMaintainer(
+        graph=graph,
+        membership=membership,
+        clusters_in_as=lambda asn: clusters_map.get(asn, []),
+        asn_of_cluster=lambda c: asn_of[c],
+        lat=lat,
+        loss=loss,
+        config=config,
+    )
+    return maintainer, lat, loss
+
+
+def fresh_entries(maintainer, owner):
+    return dict(maintainer._fresh(owner).entries)
+
+
+def assert_parity(maintainer):
+    for owner in maintainer.tracked:
+        assert maintainer.current(owner).entries == fresh_entries(maintainer, owner)
+        assert maintainer.staleness(owner) == 0.0
+
+
+class TestClusterMembership:
+    def test_only_zero_one_transitions_reported(self):
+        membership = ClusterMembership({0: 1})
+        up = MembershipEvent(at_ms=0.0, kind="host-join", cluster=0)
+        down = MembershipEvent(at_ms=1.0, kind="host-leave", cluster=0)
+        assert membership.apply(up) is None          # 1 -> 2
+        assert membership.apply(down) is None        # 2 -> 1
+        assert membership.apply(down) == "offline"   # 1 -> 0
+        assert membership.apply(up) == "online"      # 0 -> 1
+
+    def test_unknown_event_kind_rejected(self):
+        with pytest.raises(ProtocolError):
+            MembershipEvent(at_ms=0.0, kind="host-reboot", cluster=0)
+
+
+class TestRepairPaths:
+    def _small_world(self):
+        # Own AS 5 has cluster 0; AS 3 holds clusters 1 (close) and
+        # 6 (too far); AS 1 (behind 3) holds cluster 2 (close).
+        lat_map = {(0, 1): 50.0, (0, 6): 500.0, (0, 2): 60.0}
+        clusters = {5: [0], 3: [1, 6], 1: [2]}
+        asn_of = {0: 5, 1: 3, 6: 3, 2: 1}
+        counts = {0: 2, 1: 1, 6: 1, 2: 1}
+        return make_maintainer(
+            chain(), lat_map, clusters, asn_of, counts, ASAPConfig(k_hops=2)
+        )
+
+    def test_local_patch_when_verdict_unchanged(self):
+        maintainer, _, _ = self._small_world()
+        maintainer.track(0)
+        assert set(maintainer.current(0).entries) == {0, 1, 2}
+        # Cluster 2 leaves: AS 1's verdict may flip but it sits at the
+        # hop limit (depth == k_hops) where it never expands — patch.
+        maintainer.enqueue(MembershipEvent(at_ms=1.0, kind="host-leave", cluster=2))
+        maintainer.drain()
+        assert maintainer.rebuilds == 0
+        assert maintainer.local_repairs == 1
+        assert set(maintainer.current(0).entries) == {0, 1}
+        assert_parity(maintainer)
+
+    def test_verdict_flip_triggers_rebuild(self):
+        maintainer, _, _ = self._small_world()
+        maintainer.track(0)
+        # Cluster 1 (AS 3's only passing probe) leaves: AS 3's verdict
+        # flips True -> False at depth 1 < k_hops — downstream AS 1
+        # becomes unreachable, only a rebuild can know that.
+        maintainer.enqueue(MembershipEvent(at_ms=1.0, kind="host-leave", cluster=1))
+        maintainer.drain()
+        assert maintainer.rebuilds == 1
+        assert set(maintainer.current(0).entries) == {0}
+        assert_parity(maintainer)
+        # And back: the verdict flips again, rebuilding restores reach.
+        maintainer.enqueue(MembershipEvent(at_ms=2.0, kind="host-join", cluster=1))
+        maintainer.drain()
+        assert maintainer.rebuilds == 2
+        assert set(maintainer.current(0).entries) == {0, 1, 2}
+        assert_parity(maintainer)
+
+    def test_unvisited_as_is_a_noop(self):
+        maintainer, _, _ = self._small_world()
+        maintainer.track(0)
+        before = dict(maintainer.current(0).entries)
+        # Cluster 9 lives in AS 99, never visited by the BFS.
+        maintainer._static_clusters_in_as = lambda asn: {99: [9]}.get(asn, [])
+        maintainer._asn_of_cluster = lambda c: {9: 99}.get(c, 5)
+        maintainer.enqueue(MembershipEvent(at_ms=1.0, kind="host-join", cluster=9))
+        maintainer.drain()
+        assert maintainer.current(0).entries == before
+        assert maintainer.noops >= 1
+
+    def test_owner_goes_dark_and_returns(self):
+        maintainer, _, _ = self._small_world()
+        maintainer.membership._counts[0] = 1  # single host in the owner
+        maintainer.track(0)
+        maintainer.enqueue(MembershipEvent(at_ms=1.0, kind="host-leave", cluster=0))
+        maintainer.drain()
+        assert maintainer.tracked == []
+        with pytest.raises(ProtocolError):
+            maintainer.current(0)
+        maintainer.enqueue(MembershipEvent(at_ms=2.0, kind="host-join", cluster=0))
+        maintainer.drain()
+        assert maintainer.tracked == [0]
+        assert_parity(maintainer)
+
+    def test_tracking_an_offline_cluster_raises(self):
+        maintainer, _, _ = self._small_world()
+        maintainer.membership._counts[1] = 0
+        with pytest.raises(ProtocolError):
+            maintainer.track(1)
+
+
+class TestRandomizedParity:
+    """The acceptance property: incremental == from-scratch, any order."""
+
+    def _world(self):
+        # Diamond with clusters spread over every AS; a mix of passing
+        # and failing probes so verdicts actually flip under churn.
+        lat_map = {
+            (0, 1): 50.0, (0, 2): 120.0, (0, 3): 500.0,
+            (0, 4): 90.0, (0, 5): 150.0, (0, 6): 700.0,
+        }
+        clusters = {5: [0], 3: [1, 3], 4: [2], 1: [4, 6], 2: [5]}
+        asn_of = {0: 5, 1: 3, 3: 3, 2: 4, 4: 1, 6: 1, 5: 2}
+        counts = {c: 2 for c in asn_of}
+        return make_maintainer(
+            diamond(), lat_map, clusters, asn_of, counts, ASAPConfig(k_hops=3)
+        )
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 7, 19])
+    def test_seeded_event_interleavings(self, seed):
+        maintainer, _, _ = self._world()
+        maintainer.track(0)
+        rng = random.Random(seed)
+        clusters = [1, 2, 3, 4, 5, 6]
+        for step in range(300):
+            cluster = rng.choice(clusters)
+            kind = rng.choice(("host-join", "host-leave"))
+            maintainer.enqueue(
+                MembershipEvent(at_ms=float(step), kind=kind, cluster=cluster)
+            )
+            if rng.random() < 0.15:  # drain mid-stream at random points
+                maintainer.drain()
+                assert_parity(maintainer)
+        maintainer.drain()
+        assert_parity(maintainer)
+        assert maintainer.events_seen == 300
+
+    def test_repair_log_is_byte_stable(self):
+        def run():
+            maintainer, _, _ = self._world()
+            maintainer.track(0)
+            rng = random.Random(5)
+            for step in range(120):
+                maintainer.enqueue(
+                    MembershipEvent(
+                        at_ms=float(step),
+                        kind=rng.choice(("host-join", "host-leave")),
+                        cluster=rng.choice([1, 2, 3, 4, 5, 6]),
+                    )
+                )
+            maintainer.drain()
+            return list(maintainer.repair_log)
+
+        assert run() == run()

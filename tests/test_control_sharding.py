@@ -1,0 +1,147 @@
+"""Tests for the sharded control plane: hash ring, router, directory."""
+
+import pytest
+
+from repro.control import BootstrapRouter, HashRing, ShardedDirectory
+from repro.errors import ConfigurationError
+from repro.netaddr import IPv4Address
+
+
+def _ip(value: int) -> IPv4Address:
+    return IPv4Address(0x0A000000 + value)  # 10.0.x.y
+
+
+class TestHashRing:
+    def test_placement_is_deterministic_across_instances(self):
+        a = HashRing(5)
+        b = HashRing(5)
+        assert [a.owner(k) for k in range(200)] == [b.owner(k) for k in range(200)]
+
+    def test_every_shard_owns_some_keys(self):
+        ring = HashRing(4)
+        owners = {ring.owner(k) for k in range(500)}
+        assert owners == {0, 1, 2, 3}
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert {ring.owner(k) for k in range(50)} == {0}
+
+    def test_preference_starts_at_owner_and_is_distinct(self):
+        ring = HashRing(4)
+        for key in range(100):
+            chain = ring.preference(key)
+            assert chain[0] == ring.owner(key)
+            assert sorted(chain) == [0, 1, 2, 3]
+
+    def test_preference_count_truncates(self):
+        ring = HashRing(4)
+        assert len(ring.preference(7, count=2)) == 2
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HashRing(0)
+        with pytest.raises(ConfigurationError):
+            HashRing(2, virtual_nodes=0)
+
+
+class TestBootstrapRouter:
+    def test_address_count_must_match_shards(self):
+        with pytest.raises(ConfigurationError):
+            BootstrapRouter(HashRing(3), ["a:1", "b:2"], lambda ip: 0)
+
+    def test_single_router_always_returns_its_address(self):
+        router = BootstrapRouter.single("boot:9")
+        assert router.shard_count == 1
+        assert router.addrs_for(_ip(1)) == ["boot:9"]
+        assert router.owner_addr(_ip(1)) == "boot:9"
+
+    def test_addrs_for_walks_preference_owner_first(self):
+        ring = HashRing(3)
+        addrs = ["s0:1", "s1:1", "s2:1"]
+        router = BootstrapRouter(ring, addrs, lambda ip: ip.value % 7)
+        for value in range(30):
+            ip = _ip(value)
+            chain = router.addrs_for(ip)
+            assert chain[0] == router.owner_addr(ip)
+            assert sorted(chain) == sorted(addrs)
+
+
+def _directory(shards=3, ttl_ms=100.0):
+    ring = HashRing(shards)
+    return ShardedDirectory(ring, lambda ip: ip.value % 11, ttl_ms=ttl_ms)
+
+
+class TestShardedDirectory:
+    def test_join_then_resolve_hits_owner_first_try(self):
+        directory = _directory()
+        ip = _ip(1)
+        shard = directory.join(ip, 0.0)
+        assert shard == directory.owner_of(ip)
+        resolved = directory.resolve(ip, 1.0)
+        assert resolved == (shard, 1)
+
+    def test_rejoin_is_idempotent(self):
+        directory = _directory()
+        ip = _ip(2)
+        for t in range(5):
+            directory.join(ip, float(t))
+        assert directory.total() == 1
+        assert directory.peak_total == 1
+
+    def test_leave_removes_and_miss_is_well_formed(self):
+        directory = _directory()
+        ip = _ip(3)
+        directory.join(ip, 0.0)
+        assert directory.leave(ip, 1.0) == 1
+        assert directory.resolve(ip, 2.0) is None
+        assert directory.resolve_misses == 1
+
+    def test_ttl_sweep_expires_stale_leases(self):
+        directory = _directory(ttl_ms=100.0)
+        directory.join(_ip(4), 0.0)
+        directory.join(_ip(5), 80.0)
+        assert directory.sweep(150.0) == 1  # only the t=0 lease expired
+        assert directory.total() == 1
+
+    def test_down_shard_fails_over_to_ring_successor(self):
+        directory = _directory()
+        ip = _ip(6)
+        owner = directory.owner_of(ip)
+        directory.set_shard_down(owner, 10.0)
+        shard = directory.join(ip, 11.0)
+        assert shard is not None and shard != owner
+        assert directory.failover_joins == 1
+        # Resolve walks past the dead owner to the successor's copy.
+        assert directory.resolve(ip, 12.0) is not None
+
+    def test_all_shards_down_is_a_failed_join(self):
+        directory = _directory(shards=2)
+        directory.set_shard_down(0, 0.0)
+        directory.set_shard_down(1, 0.0)
+        assert directory.join(_ip(7), 1.0) is None
+        assert directory.failed_joins == 1
+
+    def test_recovered_shard_restarts_empty(self):
+        directory = _directory()
+        ip = _ip(8)
+        owner = directory.owner_of(ip)
+        directory.join(ip, 0.0)
+        directory.set_shard_down(owner, 1.0)
+        directory.set_shard_up(owner, 2.0)
+        assert directory.sizes()[owner] == 0
+        # Soft state: the next refresh re-registers on the owner.
+        assert directory.join(ip, 3.0) == owner
+
+    def test_operation_log_is_byte_stable(self):
+        def run():
+            directory = _directory()
+            for value in range(20):
+                directory.join(_ip(value), float(value))
+            directory.set_shard_down(0, 30.0)
+            directory.join(_ip(21), 31.0)
+            directory.set_shard_up(0, 40.0)
+            directory.leave(_ip(3), 41.0)
+            directory.sweep(500.0)
+            return directory.log
+
+        assert run() == run()

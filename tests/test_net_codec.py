@@ -86,11 +86,12 @@ class TestRoundTrip:
             assert encode_frame(message, REQUEST, 9) == encode_frame(message, REQUEST, 9)
 
     def test_every_protocol_message_is_registered(self):
-        # 18 messages: the full §6 vocabulary plus the error frame.
-        assert len(MESSAGE_TYPES) == 18
+        # 19 messages: the full §6 vocabulary, the error frame, and the
+        # best-effort Leave deregistration.
+        assert len(MESSAGE_TYPES) == 19
         names = {cls.__name__ for cls in MESSAGE_TYPES.values()}
-        assert {"Join", "CloseSetQuery", "CallSetup", "RelaySetup", "Media",
-                "Keepalive", "Bye", "ErrorFrame"} <= names
+        assert {"Join", "Leave", "CloseSetQuery", "CallSetup", "RelaySetup",
+                "Media", "Keepalive", "Bye", "ErrorFrame"} <= names
 
 
 class TestRejection:

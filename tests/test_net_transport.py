@@ -244,3 +244,91 @@ class TestWrappers:
 
         _, elapsed = _run_loopback(main, latency_ms_fn=lambda s, d: 8.0)
         assert elapsed == pytest.approx(8.0)
+
+
+class TestBackpressure:
+    """Per-connection in-flight caps with a bounded wait queue."""
+
+    def test_full_queue_rejects_as_backpressure_timeout(self):
+        async def main():
+            gate = asyncio.Event()
+
+            async def slow(sender, frame):
+                await gate.wait()
+                return Pong(token=frame.message.token)
+
+            server = TcpTransport()
+            server.bind(slow)
+            await server.start()
+            client = TcpTransport(max_in_flight=1, max_waiters=1)
+            await client.start()
+            try:
+                first = asyncio.ensure_future(
+                    client.request(server.local_address, Ping(token=1), 5_000.0)
+                )
+                await asyncio.sleep(0.05)  # occupies the single slot
+                second = asyncio.ensure_future(
+                    client.request(server.local_address, Ping(token=2), 5_000.0)
+                )
+                await asyncio.sleep(0.05)  # fills the single queue seat
+                with pytest.raises(TransportTimeout, match="backpressure"):
+                    await client.request(server.local_address, Ping(token=3), 5_000.0)
+                gate.set()  # queued work still completes in order
+                return await first, await second
+            finally:
+                await client.close()
+                await server.close()
+
+        r1, r2 = asyncio.run(main())
+        assert r1 == Pong(token=1)
+        assert r2 == Pong(token=2)
+
+    def test_waiter_times_out_when_slot_never_frees(self):
+        async def main():
+            gate = asyncio.Event()
+
+            async def slow(sender, frame):
+                await gate.wait()
+                return Pong(token=frame.message.token)
+
+            server = TcpTransport()
+            server.bind(slow)
+            await server.start()
+            client = TcpTransport(max_in_flight=1, max_waiters=8)
+            await client.start()
+            try:
+                first = asyncio.ensure_future(
+                    client.request(server.local_address, Ping(token=1), 5_000.0)
+                )
+                await asyncio.sleep(0.05)
+                with pytest.raises(TransportTimeout, match="no free slot"):
+                    await client.request(server.local_address, Ping(token=2), 200.0)
+                gate.set()
+                return await first
+            finally:
+                await client.close()
+                await server.close()
+
+        assert asyncio.run(main()) == Pong(token=1)
+
+    def test_throughput_unharmed_below_the_cap(self):
+        async def main():
+            server = TcpTransport()
+            server.bind(_echo)
+            await server.start()
+            client = TcpTransport(max_in_flight=4, max_waiters=64)
+            await client.start()
+            try:
+                replies = await asyncio.gather(
+                    *[
+                        client.request(server.local_address, Ping(token=t), 5_000.0)
+                        for t in range(20)
+                    ]
+                )
+                return replies
+            finally:
+                await client.close()
+                await server.close()
+
+        replies = asyncio.run(main())
+        assert sorted(r.token for r in replies) == list(range(20))

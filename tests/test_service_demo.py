@@ -6,12 +6,18 @@ the span vocabulary written by the daemons must match the simulated
 runtime's, so one trace-analysis toolkit reads both.
 """
 
+import asyncio
 import json
 
 import pytest
 
 from repro import obs
+from repro.net.codec import ROLE_HOST, Join, JoinOk, Leave, Resolve, ResolveOk
+from repro.net.loopback import LoopbackHub, LoopbackTransport
+from repro.netaddr import IPv4Address
 from repro.service import ServiceWorld, run_demo
+from repro.service.bootstrap import BootstrapServer
+from repro.service.surrogate import SurrogateServer
 
 SCALE, SEED = "tiny", 0
 
@@ -93,6 +99,87 @@ class TestLoopbackDemo:
         for caller, callee in world.latent_pairs(3):
             assert caller not in reserved
             assert callee not in reserved
+
+
+class TestBootstrapHardening:
+    """Registration edge cases: duplicates, misses, deregistration."""
+
+    def _overlay(self, world, hub):
+        async def setup():
+            bootstrap = BootstrapServer(world, LoopbackTransport(hub, "boot"))
+            await bootstrap.start()
+            cluster = world.populated_clusters()[0]
+            surrogate = SurrogateServer(
+                world, cluster, LoopbackTransport(hub, "surr"), bootstrap.address
+            )
+            await surrogate.start()
+            await surrogate.register()
+            client = LoopbackTransport(hub, "client")
+            await client.start()
+            host = next(
+                h for h in world.hosts_in_cluster(cluster)
+                if h.ip != world.surrogate_ip(cluster)
+            )
+            return bootstrap, client, host
+
+        return setup
+
+    def test_duplicate_join_is_idempotent(self, world):
+        async def main(hub):
+            bootstrap, client, host = await self._overlay(world, hub)()
+            join = Join(ip=host.ip, role=ROLE_HOST, cluster=-1, wire_addr="client")
+            first = await client.request("boot", join, timeout_ms=1_000.0)
+            second = await client.request("boot", join, timeout_ms=1_000.0)
+            return bootstrap, first, second
+
+        hub = LoopbackHub(latency_ms_fn=lambda s, d: 1.0)
+        bootstrap, first, second = asyncio.run(hub.run(main(hub)))
+        assert isinstance(first, JoinOk)
+        assert second == first  # same cluster, same surrogate
+        assert bootstrap.duplicate_joins == 1
+        assert list(bootstrap.directory.values()).count("client") == 1
+
+    def test_resolve_unknown_host_is_well_formed_not_found(self, world):
+        async def main(hub):
+            _, client, _ = await self._overlay(world, hub)()
+            return await client.request(
+                "boot", Resolve(ip=IPv4Address(0xDEADBEEF)), timeout_ms=1_000.0
+            )
+
+        hub = LoopbackHub(latency_ms_fn=lambda s, d: 1.0)
+        reply = asyncio.run(hub.run(main(hub)))
+        assert isinstance(reply, ResolveOk)
+        assert reply.found == 0
+        assert reply.addr == ""
+
+    def test_leave_deregisters_and_is_safe_to_repeat(self, world):
+        async def main(hub):
+            bootstrap, client, host = await self._overlay(world, hub)()
+            join = Join(ip=host.ip, role=ROLE_HOST, cluster=-1, wire_addr="client")
+            await client.request("boot", join, timeout_ms=1_000.0)
+            await client.send("boot", Leave(ip=host.ip))
+            await client.sleep_ms(10.0)
+            gone = await client.request(
+                "boot", Resolve(ip=host.ip), timeout_ms=1_000.0
+            )
+            await client.send("boot", Leave(ip=host.ip))  # duplicate: no-op
+            await client.sleep_ms(10.0)
+            return bootstrap, gone
+
+        hub = LoopbackHub(latency_ms_fn=lambda s, d: 1.0)
+        bootstrap, gone = asyncio.run(hub.run(main(hub)))
+        assert gone.found == 0
+        assert bootstrap.leaves == 1
+
+
+class TestShardedDemo:
+    def test_three_shard_overlay_completes_and_routes_home(self, world):
+        result = run_demo(world=world, calls=1, media_ms=1_000.0, shards=3)
+        assert result.completed == 1
+        assert result.relayed == 1
+        assert result.shard_count == 3
+        # The router sent every join to the ring owner of its cluster.
+        assert result.foreign_joins == [0, 0, 0]
 
 
 class TestTcpDemo:
