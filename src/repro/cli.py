@@ -17,6 +17,10 @@ Commands mirror the paper's workflow:
                  per-call timelines and the L1-L4 limits report;
 - ``soak``       long-horizon churn soak over the sharded control plane
                  (steady-state gates; exits 1 when a gate fails);
+- ``report``     render a finished run directory — manifest summary,
+                 per-subsystem telemetry timelines, trace self-time
+                 profile, critical path — and optionally export a
+                 flamegraph JSON document;
 - ``serve``      run the bootstrap + surrogate daemons on real TCP
                  sockets;
 - ``dial``       join host agents against a running ``serve`` and place
@@ -534,6 +538,31 @@ def cmd_soak(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render one finished run directory as the unified repro report.
+
+    Pure artifact reader: joins run_manifest.json, telemetry.jsonl and
+    traces.jsonl (plus any ``--extra-traces`` from the other side of a
+    cross-process run) without starting a new observability run.
+    """
+    from repro.obs.report import load_run, render_report, write_flame
+
+    try:
+        artifacts = load_run(args.run_dir, extra_traces=args.extra_traces)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for line in render_report(artifacts, width=args.width):
+        print(line)
+    if args.flame_out:
+        if not artifacts.traces:
+            print("error: --flame-out needs trace records", file=sys.stderr)
+            return 2
+        path, frames = write_flame(artifacts, args.flame_out)
+        print(f"wrote flamegraph document ({frames} frames) to {path}")
+    return 0
+
+
 def cmd_figures(args: argparse.Namespace) -> int:
     from repro.evaluation.figures import export_all
 
@@ -569,6 +598,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.surrogate import SurrogateServer
 
     world = _service_world(args)
+    # Distinct node prefix: a traced serve+dial pair must never mint
+    # colliding span/trace ids, so each side's ids carry its own tag.
+    obs.tracer().set_node("s")
 
     async def serve() -> None:
         bootstrap = BootstrapServer(world, TcpTransport(args.host, args.port))
@@ -643,6 +675,7 @@ def cmd_dial(args: argparse.Namespace) -> int:
     from repro.service.host import HostAgent
 
     world = _service_world(args)
+    obs.tracer().set_node("d")  # distinct ids vs the serve side's "s"
     if (args.src is None) != (args.dst is None):
         print("error: --src and --dst must be given together", file=sys.stderr)
         return 2
@@ -892,6 +925,20 @@ def make_parser() -> argparse.ArgumentParser:
                    help="write the byte-stable control-plane event log here")
     p.add_argument("--json", metavar="PATH",
                    help="write the soak report document (JSON) here")
+
+    p = _subcommand(sub, "report", cmd_report,
+                    "render a finished run directory: telemetry "
+                    "timelines, trace profile, critical path")
+    p.add_argument("--run-dir", required=True, metavar="DIR",
+                   help="run directory holding run_manifest.json / "
+                        "telemetry.jsonl / traces.jsonl")
+    p.add_argument("--extra-traces", nargs="*", default=[], metavar="PATH",
+                   help="additional traces.jsonl files to merge (e.g. the "
+                        "serve side of a cross-process run)")
+    p.add_argument("--flame-out", metavar="PATH",
+                   help="write the flamegraph JSON export here")
+    p.add_argument("--width", type=int, default=48,
+                   help="sparkline width in characters (default: 48)")
 
     p = _subcommand(sub, "robustness", cmd_robustness,
                     "headline metrics across seeds")

@@ -181,6 +181,38 @@ def schedule_workload(
     return len(join_times), len(call_times)
 
 
+def schedule_telemetry_ticks(runtime: ASAPRuntime, duration_ms: float) -> int:
+    """Schedule periodic net-plane telemetry samples on the simulator.
+
+    Every sample is stamped with virtual time and reads counters the
+    deterministic event schedule fully determines, so same-seed runs
+    emit byte-identical series.  With telemetry off this schedules
+    nothing (the null timeline is falsy), keeping the disabled-path
+    overhead at zero events.  Returns the number of ticks scheduled.
+    """
+    timeline = obs.timeline()
+    if not timeline:
+        return 0
+    sim = runtime.sim
+    network = runtime.network
+
+    def sample() -> None:
+        now = sim.now_ms
+        timeline.sample("runtime.messages_sent", now, network.total_sent)
+        timeline.sample("runtime.messages_dropped", now, network.dropped)
+        timeline.sample("runtime.request_timeouts", now, network.total_timeouts)
+        for category, count in sorted(network.timeouts_by_category.items()):
+            timeline.sample("net.timeouts", now, count, category=category)
+        for category, count in sorted(network.sent_by_category.items()):
+            timeline.sample("net.sent", now, count, category=category)
+
+    tick_ms = timeline.cadence_ms
+    ticks = int(duration_ms // tick_ms)
+    for i in range(1, ticks + 1):
+        sim.schedule_at(round(i * tick_ms, 3), sample)
+    return ticks
+
+
 def collect_chaos_result(
     runtime: ASAPRuntime, seed: int, fault_events: int
 ) -> ChaosResult:
@@ -258,6 +290,7 @@ def run_chaos(
             seed=seed,
             latent_target=latent_target,
         )
+        schedule_telemetry_ticks(runtime, fault_config.duration_ms)
         runtime.run()
 
     result = collect_chaos_result(runtime, seed, fault_events=len(schedule))

@@ -224,6 +224,23 @@ class Experiment:
         stage_seconds: Dict[str, float] = {}
         policy_seconds: Dict[str, float] = {}
         ephemeral_spill: Optional[Path] = None
+        timeline = obs.timeline()
+        run_t0 = time.perf_counter()
+
+        def mark_stage(stage: str, seconds: float, rows: Optional[int] = None) -> None:
+            # Machine-timing samples: stamped on the wall clock and
+            # flagged ``wall`` so the byte-stability contract skips them.
+            if not timeline:
+                return
+            at_ms = (time.perf_counter() - run_t0) * 1000.0
+            timeline.sample(
+                "engine.stage_seconds", at_ms, seconds, wall=True, stage=stage
+            )
+            if rows is not None and seconds > 0:
+                timeline.sample(
+                    "engine.rows_per_s", at_ms, rows / seconds, wall=True, stage=stage
+                )
+
         try:
             with obs.span(
                 "experiment.run", scale=config.scale, streamed=config.streamed
@@ -239,12 +256,14 @@ class Experiment:
                     )
                     _ = scenario.matrices  # materialize inside the build stage
                 stage_seconds["build"] = time.perf_counter() - started
+                mark_stage("build", stage_seconds["build"])
 
                 view = scenario.matrix_view()
                 started = time.perf_counter()
                 if config.streamed:
                     view.ensure_spilled()
                 stage_seconds["sweep"] = time.perf_counter() - started
+                mark_stage("sweep", stage_seconds["sweep"], rows=view.count)
 
                 started = time.perf_counter()
                 workload = generate_workload(
@@ -254,6 +273,9 @@ class Experiment:
                     latent_target=config.latent_target,
                 )
                 stage_seconds["workload"] = time.perf_counter() - started
+                mark_stage(
+                    "workload", stage_seconds["workload"], rows=len(workload.sessions)
+                )
 
                 started = time.perf_counter()
                 asap_config = config.asap_config
@@ -278,6 +300,11 @@ class Experiment:
                     policies=policies,
                 )
                 stage_seconds["evaluate"] = time.perf_counter() - started
+                mark_stage(
+                    "evaluate",
+                    stage_seconds["evaluate"],
+                    rows=config.session_count * len(policies),
+                )
 
                 started = time.perf_counter()
                 for summary in result.summaries():
@@ -285,9 +312,28 @@ class Experiment:
                         summary.mos_median
                     )
                 stage_seconds["reduce"] = time.perf_counter() - started
+                mark_stage("reduce", stage_seconds["reduce"])
 
                 spill = self._spill_accounting(view, ephemeral_spill)
                 peak_rss = _peak_rss_kb()
+                if timeline:
+                    end_ms = (time.perf_counter() - run_t0) * 1000.0
+                    timeline.sample(
+                        "engine.peak_rss_kb", end_ms, peak_rss, wall=True
+                    )
+                    if spill is not None:
+                        timeline.sample(
+                            "engine.spill_bytes", end_ms, spill["bytes"], wall=True
+                        )
+                    hits = obs.counter("columns.chunks.hit").value
+                    misses = obs.counter("columns.chunks.miss").value
+                    if hits + misses:
+                        timeline.sample(
+                            "engine.column_hit_rate",
+                            end_ms,
+                            hits / (hits + misses),
+                            wall=True,
+                        )
                 obs.annotate(
                     peak_rss_kb=peak_rss,
                     stage_seconds={k: round(v, 6) for k, v in stage_seconds.items()},

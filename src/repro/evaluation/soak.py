@@ -42,7 +42,12 @@ from repro.control import CloseSetMaintainer, HashRing, MembershipEvent, Sharded
 from repro.core.config import ASAPConfig
 from repro.core.runtime import ASAPRuntime, RuntimePolicy
 from repro.errors import ConfigurationError
-from repro.evaluation.chaos import _dist, collect_chaos_result, schedule_workload
+from repro.evaluation.chaos import (
+    _dist,
+    collect_chaos_result,
+    schedule_telemetry_ticks,
+    schedule_workload,
+)
 from repro.faults import (
     ChurnWave,
     FaultInjector,
@@ -329,9 +334,26 @@ def run_soak(
                     continue  # went dark mid-interval
                 truth = maintainer.current(owner).entries
                 drift = set(snapshot.items()) ^ set(truth.items())
-                staleness_samples.append(len(drift) / max(1, len(truth)))
+                staleness = len(drift) / max(1, len(truth))
+                staleness_samples.append(staleness)
+                obs.histogram("control.staleness").observe(staleness)
         else:
             maintainer.drain()
+        # Per-tick control-plane timeline: virtual-time stamps, so the
+        # whole series is byte-stable across same-seed soaks.
+        timeline = obs.timeline()
+        if timeline:
+            for shard, size in enumerate(directory.sizes()):
+                timeline.sample(
+                    "control.shard_registrations", now, size, shard=str(shard)
+                )
+            timeline.sample("control.alive_hosts", now, len(alive))
+            timeline.sample("control.repairs", now, maintainer.local_repairs)
+            timeline.sample("control.rebuilds", now, maintainer.rebuilds)
+            if staleness_samples:
+                timeline.sample(
+                    "control.staleness_latest", now, staleness_samples[-1]
+                )
 
     # Schedule the workload first so its simulator event sequence is
     # identical to a chaos run's (same seed stream, same insertion
@@ -366,6 +388,7 @@ def run_soak(
             ticks = int(duration // tick_ms)
             for i in range(1, ticks + 1):
                 sim.schedule_at(round(i * tick_ms, 3), maintenance_tick)
+        schedule_telemetry_ticks(runtime, duration)
 
         runtime.run()
 

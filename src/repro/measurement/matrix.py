@@ -59,6 +59,11 @@ UNREACHABLE = np.inf
 #: ``__getattr__`` below.
 _LAST_PARALLEL_STATS: Optional[Dict] = None
 
+#: Every parallel assembly this process ran, in order.  Repeated
+#: assemblies used to overwrite each other's stats; the history keeps
+#: all of them addressable (each dict carries its ``assembly`` index).
+_PARALLEL_STATS_HISTORY: List[Dict] = []
+
 
 def last_parallel_stats() -> Optional[Dict]:
     """Chunk plan and per-chunk wall times of the most recent parallel
@@ -66,6 +71,15 @@ def last_parallel_stats() -> Optional[Dict]:
     observability enabled also record the same document in the run
     manifest's ``parallel`` block."""
     return _LAST_PARALLEL_STATS
+
+
+def parallel_stats_history() -> List[Dict]:
+    """All parallel assemblies this process ran, oldest first.
+
+    Unlike :func:`last_parallel_stats` (latest only), the history
+    survives repeated assemblies in one process — each entry carries an
+    ``assembly`` sequence number matching its telemetry tags."""
+    return list(_PARALLEL_STATS_HISTORY)
 
 
 def __getattr__(name: str):
@@ -286,17 +300,34 @@ def compute_delegate_matrices(
                 _ASSEMBLY_STATE = None
             global _LAST_PARALLEL_STATS
             stats = {
+                "assembly": len(_PARALLEL_STATS_HISTORY),
                 "chunk_sizes": [len(c) for c in chunks],
                 "chunk_seconds": [seconds for _, seconds in timings],
                 "workers": worker_count,
             }
             _LAST_PARALLEL_STATS = stats
+            _PARALLEL_STATS_HISTORY.append(stats)
             # The durable record: the obs registry (and hence the run
             # manifest's ``parallel`` block) rather than a module global.
             obs.annotate(parallel=stats)
             obs.gauge("matrix.parallel.workers").set(worker_count)
-            for seconds in stats["chunk_seconds"]:
+            timeline = obs.timeline()
+            elapsed_ms = 0.0
+            for index, seconds in enumerate(stats["chunk_seconds"]):
                 obs.histogram("matrix.parallel.chunk_seconds").observe(seconds)
+                if timeline:
+                    # Wall timing, excluded from the byte-stability
+                    # contract; stamped at the chunk's cumulative offset
+                    # so the report renders a per-assembly timeline.
+                    elapsed_ms += seconds * 1000.0
+                    timeline.sample(
+                        "matrix.chunk_seconds",
+                        elapsed_ms,
+                        seconds,
+                        wall=True,
+                        assembly=str(stats["assembly"]),
+                        chunk=str(index),
+                    )
         elif use_flat:
             from repro.worldarrays import FlatMatrixAssembler, WorldArrays
 

@@ -2,16 +2,25 @@
 
 Frame layout (network byte order)::
 
-    +-------+---------+------+-------+------------+---------+=========+
-    | magic | version | type | flags | request_id | length  | payload |
-    | 2 B   | 1 B     | 1 B  | 1 B   | 4 B        | 4 B     | var     |
-    +-------+---------+------+-------+------------+---------+=========+
+    +-------+---------+------+-------+------------+---------+=======+=========+
+    | magic | version | type | flags | request_id | length  | trace | payload |
+    | 2 B   | 1 B     | 1 B  | 1 B   | 4 B        | 4 B     | var   | var     |
+    +-------+---------+------+-------+------------+---------+=======+=========+
 
 ``magic`` is ``b"AS"``; ``version`` is :data:`CODEC_SCHEMA_VERSION`;
 ``type`` selects a registered message class; ``flags`` marks the frame
 as one-way, request, response or error-response (transports use
 ``request_id`` to correlate the latter three); ``length`` counts payload
 bytes only.
+
+The optional ``trace`` segment exists only when the :data:`TRACE_FLAG`
+bit is set in ``flags``: one ``u8`` total-extension length, then a
+versioned trace context (``u8`` extension version, ``u8``-prefixed
+trace-id string, ``u8``-prefixed parent-span-id string).  It carries the
+sender's causal-trace context across process boundaries so a
+cross-process ``serve`` + ``dial`` run yields one connected trace tree;
+frames without the bit are byte-identical to the pre-extension wire
+format, so old captures decode unchanged.
 
 Message payloads are packed field-by-field from each message class's
 ``FIELDS`` declaration — a table of ``(name, kind)`` pairs over a small
@@ -38,7 +47,7 @@ from __future__ import annotations
 import operator
 import struct
 from dataclasses import dataclass, fields as dataclass_fields
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import CodecError, FrameError
 from repro.netaddr import IPv4Address
@@ -73,6 +82,8 @@ __all__ = [
     "RelaySetup",
     "Resolve",
     "ResolveOk",
+    "TRACE_EXT_VERSION",
+    "TRACE_FLAG",
     "decode_frame",
     "encode_frame",
 ]
@@ -94,6 +105,16 @@ ONEWAY = 0    #: fire-and-forget; no response expected
 REQUEST = 1   #: expects a RESPONSE (or ERROR) with the same request_id
 RESPONSE = 2  #: successful answer to a REQUEST
 ERROR = 3     #: error answer to a REQUEST; payload is an ErrorFrame
+
+#: High bit of the flags byte: a trace-context extension segment follows
+#: the fixed header (see the module docstring).  Orthogonal to the base
+#: flag value, which stays one of the four above.
+TRACE_FLAG = 0x80
+
+#: Version byte leading the trace-context extension; decoders reject
+#: every other value (the extension is independently versioned so it can
+#: evolve without a full codec-schema bump).
+TRACE_EXT_VERSION = 1
 
 _FLAGS = frozenset((ONEWAY, REQUEST, RESPONSE, ERROR))
 
@@ -810,15 +831,75 @@ ERR_NOT_SERVING = 3   #: role cannot satisfy the request (e.g. not joined)
 
 @dataclass(frozen=True)
 class Frame:
-    """A decoded wire frame: the message plus its envelope."""
+    """A decoded wire frame: the message plus its envelope.
+
+    ``trace_id``/``parent_span`` carry the sender's causal-trace context
+    when the frame had a trace extension; ``None`` otherwise.
+    """
 
     message: Message
     flags: int = ONEWAY
     request_id: int = 0
+    trace_id: "Optional[str]" = None
+    parent_span: "Optional[str]" = None
 
 
-def encode_frame(message: Message, flags: int = ONEWAY, request_id: int = 0) -> bytes:
-    """Encode one message into its full wire frame (deterministic)."""
+def _encode_trace_ext(trace) -> bytes:
+    """Pack a ``(trace_id, parent_span_id)`` context into its segment."""
+    trace_id, parent_span = trace
+    if not isinstance(trace_id, str) or not trace_id:
+        raise CodecError("trace context needs a non-empty trace id string")
+    tid = trace_id.encode("utf-8")
+    sid = (parent_span or "").encode("utf-8")
+    if len(tid) > 0xFF or len(sid) > 0xFF:
+        raise CodecError("trace context ids too long for the wire")
+    ext = bytes((TRACE_EXT_VERSION, len(tid))) + tid + bytes((len(sid),)) + sid
+    if len(ext) > 0xFF:
+        raise CodecError(f"trace extension too long ({len(ext)} bytes)")
+    return bytes((len(ext),)) + ext
+
+
+def _parse_trace_ext(ext: bytes) -> Tuple[str, "Optional[str]"]:
+    """Unpack a complete extension body (version + two prefixed strings)."""
+    if len(ext) < 2:
+        raise FrameError(f"trace extension truncated ({len(ext)} bytes)")
+    version = ext[0]
+    if version != TRACE_EXT_VERSION:
+        raise FrameError(f"unsupported trace extension version {version}")
+    tid_len = ext[1]
+    pos = 2
+    if pos + tid_len + 1 > len(ext):
+        raise FrameError("trace extension truncated inside trace id")
+    if not tid_len:
+        raise FrameError("trace extension has an empty trace id")
+    try:
+        trace_id = bytes(ext[pos:pos + tid_len]).decode("utf-8")
+        pos += tid_len
+        sid_len = ext[pos]
+        pos += 1
+        if pos + sid_len != len(ext):
+            raise FrameError("trace extension length mismatch")
+        parent_span = (
+            bytes(ext[pos:pos + sid_len]).decode("utf-8") if sid_len else None
+        )
+    except UnicodeDecodeError as exc:
+        raise FrameError("trace extension ids are not valid UTF-8") from exc
+    return trace_id, parent_span
+
+
+def encode_frame(
+    message: Message,
+    flags: int = ONEWAY,
+    request_id: int = 0,
+    trace: "Optional[Tuple[str, Optional[str]]]" = None,
+) -> bytes:
+    """Encode one message into its full wire frame (deterministic).
+
+    ``trace`` optionally attaches a ``(trace_id, parent_span_id)``
+    causal context; the frame then carries the :data:`TRACE_FLAG` bit
+    and the versioned trace segment.  Without it the bytes are identical
+    to the pre-extension wire format.
+    """
     if type(message).TYPE not in MESSAGE_TYPES:
         raise CodecError(f"unregistered message type {type(message).__name__}")
     if flags not in _FLAGS:
@@ -828,16 +909,25 @@ def encode_frame(message: Message, flags: int = ONEWAY, request_id: int = 0) -> 
     payload = message.pack_payload()
     if len(payload) > MAX_PAYLOAD_BYTES:
         raise CodecError(f"payload too large ({len(payload)} bytes)")
+    if trace is None:
+        header = _HEADER.pack(
+            _MAGIC, CODEC_SCHEMA_VERSION, type(message).TYPE, flags,
+            request_id, len(payload),
+        )
+        return header + payload
     header = _HEADER.pack(
-        _MAGIC, CODEC_SCHEMA_VERSION, type(message).TYPE, flags,
+        _MAGIC, CODEC_SCHEMA_VERSION, type(message).TYPE, flags | TRACE_FLAG,
         request_id, len(payload),
     )
-    return header + payload
+    return header + _encode_trace_ext(trace) + payload
 
 
-def _decode_header(data: bytes, offset: int = 0) -> Tuple[int, int, int, int]:
-    """Validate a header at ``offset``; returns (type, flags, req_id, length).
+def _decode_header(data: bytes, offset: int = 0) -> Tuple[int, int, int, int, bool]:
+    """Validate a header at ``offset``.
 
+    Returns ``(type, base_flags, req_id, payload_length, has_trace)``;
+    ``has_trace`` means a trace extension segment follows the fixed
+    header (its length byte is *not* included in ``payload_length``).
     Raises :class:`FrameError` on anything but a well-formed current-
     version header (including a header shorter than the fixed size).
     """
@@ -857,11 +947,13 @@ def _decode_header(data: bytes, offset: int = 0) -> Tuple[int, int, int, int]:
         )
     if msg_type not in MESSAGE_TYPES:
         raise FrameError(f"unknown message type {msg_type:#x}")
-    if flags not in _FLAGS:
+    has_trace = bool(flags & TRACE_FLAG)
+    base_flags = flags & ~TRACE_FLAG
+    if base_flags not in _FLAGS:
         raise FrameError(f"unknown frame flags {flags:#x}")
     if length > MAX_PAYLOAD_BYTES:
         raise FrameError(f"declared payload {length} exceeds cap {MAX_PAYLOAD_BYTES}")
-    return msg_type, flags, request_id, length
+    return msg_type, base_flags, request_id, length, has_trace
 
 
 def decode_frame(data: bytes) -> Frame:
@@ -871,20 +963,37 @@ def decode_frame(data: bytes) -> Frame:
     and trailing garbage both raise :class:`FrameError`; payload-schema
     violations raise :class:`CodecError`.
     """
-    msg_type, flags, request_id, length = _decode_header(data)
-    body_end = _HEADER.size + length
+    msg_type, flags, request_id, length, has_trace = _decode_header(data)
+    body_start = _HEADER.size
+    trace_id = parent_span = None
+    if has_trace:
+        if len(data) < _HEADER.size + 1:
+            raise FrameError("truncated frame: trace extension length missing")
+        ext_len = data[_HEADER.size]
+        body_start = _HEADER.size + 1 + ext_len
+        if len(data) < body_start:
+            raise FrameError(
+                f"truncated frame: trace extension declares {ext_len} bytes"
+            )
+        trace_id, parent_span = _parse_trace_ext(
+            data[_HEADER.size + 1:body_start]
+        )
+    body_end = body_start + length
     if len(data) < body_end:
         raise FrameError(
             f"truncated frame: payload declares {length} bytes, "
-            f"{len(data) - _HEADER.size} present"
+            f"{len(data) - body_start} present"
         )
     if len(data) > body_end:
         raise FrameError(f"{len(data) - body_end} trailing bytes after frame")
     # One-shot decode: a plain bytes slice beats a memoryview here (the
     # view's create/release overhead outweighs the single small copy);
     # the streaming FrameDecoder is where views pay off.
-    message = MESSAGE_TYPES[msg_type].unpack_payload(data[_HEADER.size:body_end])
-    return Frame(message=message, flags=flags, request_id=request_id)
+    message = MESSAGE_TYPES[msg_type].unpack_payload(data[body_start:body_end])
+    return Frame(
+        message=message, flags=flags, request_id=request_id,
+        trace_id=trace_id, parent_span=parent_span,
+    )
 
 
 class FrameDecoder:
@@ -927,14 +1036,32 @@ class FrameDecoder:
         try:
             while len(buffer) - consumed >= _HEADER.size:
                 try:
-                    msg_type, flags, request_id, length = _decode_header(view, consumed)
+                    msg_type, flags, request_id, length, has_trace = _decode_header(
+                        view, consumed
+                    )
                 except FrameError:
                     self._poisoned = True
                     raise
-                end = consumed + _HEADER.size + length
+                body_start = consumed + _HEADER.size
+                trace_id = parent_span = None
+                if has_trace:
+                    if len(buffer) < body_start + 1:
+                        break  # the extension length byte is still in flight
+                    ext_len = buffer[body_start]
+                    body_start += 1 + ext_len
+                end = body_start + length
                 if len(buffer) < end:
                     break
-                payload = view[consumed + _HEADER.size:end]
+                if has_trace:
+                    ext = view[consumed + _HEADER.size + 1:body_start]
+                    try:
+                        trace_id, parent_span = _parse_trace_ext(ext)
+                    except FrameError:
+                        self._poisoned = True
+                        raise
+                    finally:
+                        ext.release()
+                payload = view[body_start:end]
                 try:
                     message = MESSAGE_TYPES[msg_type].unpack_payload(payload)
                 except (FrameError, CodecError):
@@ -943,7 +1070,10 @@ class FrameDecoder:
                 finally:
                     payload.release()
                 frames.append(
-                    Frame(message=message, flags=flags, request_id=request_id)
+                    Frame(
+                        message=message, flags=flags, request_id=request_id,
+                        trace_id=trace_id, parent_span=parent_span,
+                    )
                 )
                 consumed = end
         finally:

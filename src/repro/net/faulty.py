@@ -26,7 +26,7 @@ from typing import Callable, Dict, Optional
 
 from repro.errors import TransportTimeout
 from repro.net.codec import Message
-from repro.net.transport import Handler, Transport
+from repro.net.transport import Handler, TraceContext, Transport
 
 __all__ = ["FaultyTransport", "ShapedTransport"]
 
@@ -101,7 +101,13 @@ class FaultyTransport(Transport):
         await self._delay()
         await self._inner.send(addr, message)
 
-    async def request(self, addr: str, message: Message, timeout_ms: float) -> Message:
+    async def request(
+        self,
+        addr: str,
+        message: Message,
+        timeout_ms: float,
+        trace: Optional[TraceContext] = None,
+    ) -> Message:
         if self._drops():
             self.dropped += 1
             await self._inner.sleep_ms(timeout_ms)
@@ -110,7 +116,7 @@ class FaultyTransport(Transport):
                 f"(timeout {timeout_ms} ms)"
             )
         await self._delay()
-        return await self._inner.request(addr, message, timeout_ms)
+        return await self._inner.request(addr, message, timeout_ms, trace=trace)
 
 
 class ShapedTransport(Transport):
@@ -173,8 +179,14 @@ class ShapedTransport(Transport):
     async def send(self, addr: str, message: Message) -> None:
         await self._inner.send(addr, message)
 
-    async def request(self, addr: str, message: Message, timeout_ms: float) -> Message:
+    async def request(
+        self,
+        addr: str,
+        message: Message,
+        timeout_ms: float,
+        trace: Optional[TraceContext] = None,
+    ) -> Message:
         rtt = self._rtt(addr)
         if rtt is not None and rtt > 0.0:
             await self._inner.sleep_ms(rtt)
-        return await self._inner.request(addr, message, timeout_ms)
+        return await self._inner.request(addr, message, timeout_ms, trace=trace)

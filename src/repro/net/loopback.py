@@ -46,7 +46,7 @@ from repro.net.codec import (
     encode_frame,
 )
 from repro.net.codec import ERR_INTERNAL, ERR_UNSUPPORTED
-from repro.net.transport import Handler, Transport
+from repro.net.transport import Handler, TraceContext, Transport
 
 __all__ = ["LoopbackHub", "LoopbackTransport"]
 
@@ -284,9 +284,15 @@ class LoopbackTransport(Transport):
             return
         self._schedule_inbound(addr, data, rtt)
 
-    async def request(self, addr: str, message: Message, timeout_ms: float) -> Message:
+    async def request(
+        self,
+        addr: str,
+        message: Message,
+        timeout_ms: float,
+        trace: Optional[TraceContext] = None,
+    ) -> Message:
         request_id = next(self._request_seq)
-        data = encode_frame(message, REQUEST, request_id)
+        data = encode_frame(message, REQUEST, request_id, trace=trace)
         obs.counter("wire.sent").inc()
         future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
@@ -313,6 +319,13 @@ class LoopbackTransport(Transport):
         future = self._pending.get(request_id)
         if future is not None and not future.done():
             obs.counter("wire.timeouts").inc()
+            # Deterministic: stamped with virtual time, so same-seed
+            # loopback runs keep telemetry.jsonl byte-identical.
+            obs.timeline().sample(
+                "net.wire_timeouts",
+                self._hub.now_ms,
+                obs.counter("wire.timeouts").value,
+            )
             self._hub._unpark(
                 future,
                 exc=TransportTimeout(

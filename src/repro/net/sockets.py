@@ -42,7 +42,7 @@ from repro.net.codec import (
     encode_frame,
 )
 from repro.net.codec import ERR_INTERNAL, ERR_UNSUPPORTED
-from repro.net.transport import Handler, Transport
+from repro.net.transport import Handler, TraceContext, Transport
 
 __all__ = ["TcpTransport"]
 
@@ -227,6 +227,12 @@ class TcpTransport(Transport):
         if waiter is None:
             obs.counter("wire.backpressure_rejected").inc()
             obs.counter("wire.timeouts").inc()
+            obs.timeline().sample(
+                "net.backpressure_rejected",
+                self.now_ms(),
+                obs.counter("wire.backpressure_rejected").value,
+                wall=True,
+            )
             raise TransportTimeout(
                 f"{addr} backpressure: {conn.in_flight} in flight, "
                 f"{conn.max_waiters} waiting"
@@ -243,12 +249,25 @@ class TcpTransport(Transport):
                 f"no free slot to {addr} within {timeout_ms} ms"
             ) from None
 
-    async def request(self, addr: str, message: Message, timeout_ms: float) -> Message:
+    async def request(
+        self,
+        addr: str,
+        message: Message,
+        timeout_ms: float,
+        trace: Optional[TraceContext] = None,
+    ) -> Message:
         request_id = next(self._request_seq)
-        data = encode_frame(message, REQUEST, request_id)
+        data = encode_frame(message, REQUEST, request_id, trace=trace)
         obs.counter("wire.sent").inc()
         conn = await self._get_conn(addr)
         await self._acquire_slot(conn, addr, timeout_ms)
+        obs.timeline().sample(
+            "net.pool_in_flight", self.now_ms(), conn.in_flight, wall=True
+        )
+        if conn.waiters:
+            obs.timeline().sample(
+                "net.pool_waiters", self.now_ms(), len(conn.waiters), wall=True
+            )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         try:

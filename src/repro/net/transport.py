@@ -23,11 +23,15 @@ clock or the socket transport's monotonic clock — never from
 from __future__ import annotations
 
 import abc
-from typing import Awaitable, Callable, Optional
+from typing import Awaitable, Callable, Optional, Tuple
 
 from repro.net.codec import Frame, Message
 
-__all__ = ["Handler", "Transport"]
+#: A causal-trace context attached to an outbound request:
+#: ``(trace_id, parent_span_id)`` — see the codec's trace extension.
+TraceContext = Tuple[str, Optional[str]]
+
+__all__ = ["Handler", "TraceContext", "Transport"]
 
 #: An endpoint's inbound dispatch: (sender address, frame) -> response.
 Handler = Callable[[str, Frame], Awaitable[Optional[Message]]]
@@ -58,12 +62,20 @@ class Transport(abc.ABC):
         """Fire-and-forget delivery (silently lost on a dead peer)."""
 
     @abc.abstractmethod
-    async def request(self, addr: str, message: Message, timeout_ms: float) -> Message:
+    async def request(
+        self,
+        addr: str,
+        message: Message,
+        timeout_ms: float,
+        trace: Optional[TraceContext] = None,
+    ) -> Message:
         """Round-trip exchange; the response message, or raises.
 
         :class:`repro.errors.TransportTimeout` when no response lands
         within ``timeout_ms``; :class:`repro.errors.RemoteError` when the
-        peer answered with an error frame.
+        peer answered with an error frame.  ``trace`` optionally rides
+        the request frame as the codec's trace extension, so the peer's
+        handler spans join the caller's trace.
         """
 
     @abc.abstractmethod

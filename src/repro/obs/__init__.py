@@ -50,6 +50,15 @@ from repro.obs.manifest import (
 )
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.spans import NULL_SPAN, Span
+from repro.obs.timeseries import (
+    NULL_TIMELINE,
+    TELEMETRY_FILENAME,
+    TELEMETRY_SCHEMA_VERSION,
+    TimeSeries,
+    WindowSampler,
+    load_telemetry_file,
+    validate_telemetry_records,
+)
 from repro.obs.trace import (
     NULL_TRACE_SPAN,
     NULL_TRACER,
@@ -58,6 +67,7 @@ from repro.obs.trace import (
     Tracer,
     TraceSpan,
     load_trace_file,
+    load_trace_files,
     validate_trace_records,
 )
 
@@ -71,13 +81,18 @@ __all__ = [
     "MANIFEST_SCHEMA",
     "MANIFEST_SCHEMA_VERSION",
     "MetricsRegistry",
+    "NULL_TIMELINE",
     "NULL_TRACER",
     "NULL_TRACE_SPAN",
     "RunObserver",
+    "TELEMETRY_FILENAME",
+    "TELEMETRY_SCHEMA_VERSION",
     "TRACES_FILENAME",
     "TRACE_SCHEMA_VERSION",
+    "TimeSeries",
     "Tracer",
     "TraceSpan",
+    "WindowSampler",
     "active",
     "annotate",
     "begin_forked_child",
@@ -89,13 +104,17 @@ __all__ = [
     "gauge",
     "histogram",
     "load_manifest",
+    "load_telemetry_file",
     "load_trace_file",
+    "load_trace_files",
     "merge_child_snapshot",
     "observe",
     "span",
     "start_run",
+    "timeline",
     "tracer",
     "validate_manifest",
+    "validate_telemetry_records",
     "validate_trace_records",
     "write_manifest",
 ]
@@ -122,6 +141,7 @@ class RunObserver:
         trace: bool = False,
     ) -> None:
         self.registry = MetricsRegistry()
+        self.timeline = TimeSeries()
         self.obs_dir = Path(obs_dir) if obs_dir is not None else None
         self.command = command
         self.argv = list(argv) if argv is not None else []
@@ -188,6 +208,13 @@ class RunObserver:
                 "messages_dropped": counters.get("net.dropped", 0),
                 "request_timeouts": counters.get("net.timeouts", 0),
             },
+            "telemetry": {
+                "file": TELEMETRY_FILENAME if self.obs_dir is not None else None,
+                "samples": self.timeline.sample_count,
+                "series": len(self.timeline.series_names()),
+                "cadence_ms": self.timeline.cadence_ms,
+                "samples_dropped": counters.get("telemetry.samples_dropped", 0),
+            },
             "counters": counters,
             "gauges": snapshot["gauges"],
             "histograms": snapshot["histograms"],
@@ -224,6 +251,7 @@ class RunObserver:
             self.trace.close()
         if self.obs_dir is None:
             return None
+        self.timeline.write(self.obs_dir / TELEMETRY_FILENAME)
         return write_manifest(self.obs_dir / MANIFEST_FILENAME, document)
 
 
@@ -289,6 +317,17 @@ def histogram(name: str):
     return (
         observer.registry.histogram(name) if observer is not None else _NULL_HISTOGRAM
     )
+
+
+def timeline():
+    """The active run's time-series buffer (shared falsy no-op when off).
+
+    Call ``obs.timeline().sample(series, t_ms, value, **tags)`` with a
+    virtual-clock timestamp; samples land in ``telemetry.jsonl`` at run
+    close (see :mod:`repro.obs.timeseries`).
+    """
+    observer = _ACTIVE
+    return observer.timeline if observer is not None else NULL_TIMELINE
 
 
 def tracer():
@@ -393,18 +432,27 @@ def begin_forked_child() -> None:
     observer = _ACTIVE
     if observer is not None:
         observer.registry = MetricsRegistry()
+        observer.timeline = TimeSeries(cadence_ms=observer.timeline.cadence_ms)
         observer.sink = None
         observer.trace = None
 
 
 def collect_forked_child() -> Optional[dict]:
-    """Snapshot of the child-side registry, for the parent to merge."""
+    """Snapshot of the child-side registry (plus any timeline samples the
+    task emitted), for the parent to merge."""
     observer = _ACTIVE
-    return observer.registry.snapshot() if observer is not None else None
+    if observer is None:
+        return None
+    snapshot = observer.registry.snapshot()
+    samples = observer.timeline.snapshot()
+    if samples:
+        snapshot["timeline"] = samples
+    return snapshot
 
 
 def merge_child_snapshot(snapshot: Optional[dict]) -> None:
-    """Merge one pool task's snapshot into the parent registry."""
+    """Merge one pool task's snapshot into the parent registry/timeline."""
     observer = _ACTIVE
     if observer is not None and snapshot is not None:
         observer.registry.merge_snapshot(snapshot)
+        observer.timeline.merge_samples(snapshot.get("timeline", ()))

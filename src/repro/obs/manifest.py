@@ -39,7 +39,10 @@ __all__ = [
 #: v4: optional top-level ``soak`` block — the churn soak's gate verdicts
 #: (steady-state registry, directory convergence, staleness bound,
 #: terminal calls) plus the directory/repair accounting behind them.
-MANIFEST_SCHEMA_VERSION = 4
+#: v5: optional top-level ``telemetry`` block (time-series output file,
+#: sample/series counts, cadence, reservoir drops); histogram snapshots
+#: carry a bounded raw-sample reservoir (``samples``/``dropped``).
+MANIFEST_SCHEMA_VERSION = 5
 
 #: Canonical file name of a run manifest inside an observability directory.
 MANIFEST_FILENAME = "run_manifest.json"
@@ -61,6 +64,7 @@ MANIFEST_SCHEMA: Dict[str, Tuple[tuple, bool]] = {
     "workers": ((int, _NoneType), True),
     "parallel": ((dict, _NoneType), False),
     "soak": ((dict, _NoneType), False),
+    "telemetry": ((dict, _NoneType), False),
     "cache": ((dict,), True),
     "network": ((dict,), False),
     "counters": ((dict,), True),
@@ -100,6 +104,9 @@ _SOAK_BOOL_FIELDS = (
     "calls_terminal",
 )
 _SOAK_FIELDS = _SOAK_BOOL_FIELDS + ("ok", "seed", "sim_minutes", "shards")
+
+#: Required members of the optional ``telemetry`` sub-document.
+_TELEMETRY_FIELDS = ("file", "samples", "series", "cadence_ms", "samples_dropped")
 
 
 def validate_manifest(document: dict) -> List[str]:
@@ -147,6 +154,14 @@ def validate_manifest(document: dict) -> List[str]:
         for field in _SOAK_BOOL_FIELDS + ("ok",):
             if field in soak and not isinstance(soak[field], bool):
                 problems.append(f"soak.{field} must be a boolean")
+    telemetry = document.get("telemetry")
+    if isinstance(telemetry, dict):
+        for field in _TELEMETRY_FIELDS:
+            if field not in telemetry:
+                problems.append(f"telemetry missing field {field!r}")
+        for field in ("samples", "series", "samples_dropped"):
+            if field in telemetry and not isinstance(telemetry[field], int):
+                problems.append(f"telemetry.{field} must be an integer")
     counters = document.get("counters")
     if isinstance(counters, dict):
         for key, value in counters.items():

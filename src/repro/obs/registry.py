@@ -23,9 +23,9 @@ process; cross-process aggregation goes through snapshots).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "RESERVOIR_SIZE"]
 
 
 class Counter:
@@ -59,24 +59,49 @@ class Gauge:
 _FIRST_BUCKET = 2.0 ** -20
 _BUCKET_COUNT = 40
 
+#: Raw-sample retention cap per histogram.  Beyond this, observations
+#: displace reservoir entries (or are dropped) deterministically — no
+#: histogram ever grows without bound on a long soak.
+RESERVOIR_SIZE = 512
+
+
+def _reservoir_slot(n: int) -> int:
+    """Deterministic pseudo-random slot in ``[0, n)`` for observation n.
+
+    A fixed multiplicative mix (Knuth's 2654435761) stands in for
+    ``random.randrange`` so same-seed runs keep byte-identical state —
+    statistical uniformity is traded for reproducibility.
+    """
+    x = (n * 2654435761) & 0xFFFFFFFF
+    x ^= x >> 16
+    return x % n
+
 
 class Histogram:
     """A value distribution: count / sum / min / max plus log2 buckets.
 
     Bucket ``i`` counts observations in ``(2**(i-21), 2**(i-20)]``; the
-    final bucket is a catch-all for anything larger.  Good enough to see
-    the shape of span durations without storing samples.
+    final bucket is a catch-all for anything larger.  Quantiles come from
+    the buckets; a bounded deterministic reservoir additionally retains up
+    to :data:`RESERVOIR_SIZE` raw samples (``dropped`` counts the ones it
+    had to let go, surfaced as the ``telemetry.samples_dropped`` counter).
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+    __slots__ = ("name", "count", "total", "min", "max", "buckets",
+                 "samples", "dropped", "_on_drop")
 
-    def __init__(self, name: str) -> None:
+    def __init__(
+        self, name: str, on_drop: Optional[Callable[[int], None]] = None
+    ) -> None:
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
         self.buckets: List[int] = [0] * _BUCKET_COUNT
+        self.samples: List[float] = []
+        self.dropped = 0
+        self._on_drop = on_drop
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -86,6 +111,18 @@ class Histogram:
         if self.max is None or value > self.max:
             self.max = value
         self.buckets[_bucket_index(value)] += 1
+        if len(self.samples) < RESERVOIR_SIZE:
+            self.samples.append(value)
+        else:
+            slot = _reservoir_slot(self.count)
+            if slot < RESERVOIR_SIZE:
+                self.samples[slot] = value
+            self._drop()
+
+    def _drop(self, amount: int = 1) -> None:
+        self.dropped += amount
+        if self._on_drop is not None:
+            self._on_drop(amount)
 
     @property
     def mean(self) -> Optional[float]:
@@ -151,8 +188,14 @@ class MetricsRegistry:
     def histogram(self, name: str) -> Histogram:
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(name)
+            instrument = self._histograms[name] = Histogram(
+                name, on_drop=self._count_dropped
+            )
         return instrument
+
+    def _count_dropped(self, amount: int) -> None:
+        """Reservoir truncation is never silent: it shows up as a counter."""
+        self.counter("telemetry.samples_dropped").inc(amount)
 
     # -- read side ---------------------------------------------------------
 
@@ -176,6 +219,8 @@ class MetricsRegistry:
                     "p95": h.quantile(0.95),
                     "p99": h.quantile(0.99),
                     "buckets": list(h.buckets),
+                    "samples": list(h.samples),
+                    "dropped": h.dropped,
                 }
                 for n, h in sorted(self._histograms.items())
             },
@@ -217,3 +262,14 @@ class MetricsRegistry:
             for index, bucket in enumerate(data.get("buckets", ())):
                 if index < len(histogram.buckets):
                     histogram.buckets[index] += bucket
+            dropped = data.get("dropped", 0)
+            if dropped:
+                histogram.dropped += dropped
+            histogram.samples.extend(data.get("samples", ()))
+            overflow = len(histogram.samples) - RESERVOIR_SIZE
+            if overflow > 0:
+                # Deterministic truncation: keep the head.  The parent's
+                # shared counter is bumped here (the child already counted
+                # its own drops before snapshotting).
+                del histogram.samples[RESERVOIR_SIZE:]
+                histogram._drop(overflow)

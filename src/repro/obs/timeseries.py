@@ -1,0 +1,311 @@
+"""Deterministic sim-time time-series telemetry (``telemetry.jsonl``).
+
+Counters and manifests show a run's *totals*; traces show *per-call
+causality*.  This module adds the third axis — *behaviour over time*:
+shard registration ramps, spill throughput, backpressure queue depth,
+repair-vs-rebuild rates.  The design constraints mirror the trace layer:
+
+- **Sim-time determinism.**  Every sample is stamped with a timestamp the
+  caller supplies from a virtual clock (``Simulator.now_ms``,
+  ``LoopbackHub.now_ms``), never the wall clock, so same-seed runs emit
+  byte-identical ``telemetry.jsonl``.  Sample values that are *inherently*
+  machine timings (stage seconds, rows/s, peak RSS, per-chunk wall times)
+  are flagged ``"wall": true`` and excluded from the byte-stability
+  contract; sim-driven runs (chaos, soak, loopback demos) emit only
+  deterministic samples so CI can byte-diff their full files.
+- **Deterministic byte order.**  Records buffer in memory and are written
+  once at run close, sorted by ``(t_ms, series, tags)`` with insertion
+  order breaking ties, in canonical JSON (sorted keys, no spaces).
+- **Fork safety.**  A forked worker's samples ride home inside the same
+  snapshot dict the metrics registry already returns through
+  :func:`repro.obs.collect_forked_child`; the parent merges them in
+  ``pool.map`` order, which is deterministic.
+- **Zero cost when off.**  :data:`NULL_TIMELINE` absorbs every call; the
+  module-level ``repro.obs.timeline()`` hook returns it when no run is
+  active.
+
+:class:`WindowSampler` derives a fixed sample cadence from the virtual
+clock: watches registered on counters emit per-window deltas, gauges and
+callables emit current values, histograms emit a chosen quantile — all at
+exact multiples of the cadence, so the sample grid itself is a pure
+function of the clock.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs.registry import Counter, Gauge, Histogram
+
+__all__ = [
+    "TELEMETRY_FILENAME",
+    "TELEMETRY_SCHEMA_VERSION",
+    "NULL_TIMELINE",
+    "TimeSeries",
+    "WindowSampler",
+    "load_telemetry_file",
+    "validate_telemetry_records",
+]
+
+#: Bump when the telemetry JSONL record semantics change.
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: Canonical file name inside an observability directory.
+TELEMETRY_FILENAME = "telemetry.jsonl"
+
+#: Default sample cadence (sim milliseconds) for :class:`WindowSampler`.
+DEFAULT_CADENCE_MS = 1000.0
+
+
+def _json_line(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def _canonical_value(value):
+    """Round floats so equal computations render identically."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            return None
+        return round(value, 6)
+    return value
+
+
+class TimeSeries:
+    """An in-memory buffer of timeline samples, written at run close.
+
+    ``sample()`` is the whole write API: a series name, a virtual-clock
+    timestamp, a numeric value, and optional string tags.  Pass
+    ``wall=True`` for values derived from machine time — they stay in the
+    file but are excluded from the byte-stability contract (and callers
+    should stamp them with whatever monotone t_ms is convenient).
+    """
+
+    __slots__ = ("cadence_ms", "_samples", "_seq")
+
+    def __init__(self, cadence_ms: float = DEFAULT_CADENCE_MS) -> None:
+        self.cadence_ms = float(cadence_ms)
+        self._samples: List[Tuple[float, str, str, int, dict]] = []
+        self._seq = 0
+
+    def __bool__(self) -> bool:  # mirrors NULL_TIMELINE's falsiness contract
+        return True
+
+    # -- write side --------------------------------------------------------
+
+    def sample(
+        self,
+        series: str,
+        t_ms: float,
+        value,
+        wall: bool = False,
+        **tags: str,
+    ) -> None:
+        record = {
+            "kind": "sample",
+            "series": series,
+            "t_ms": round(float(t_ms), 3),
+            "value": _canonical_value(value),
+        }
+        if tags:
+            record["tags"] = {k: str(v) for k, v in sorted(tags.items())}
+        if wall:
+            record["wall"] = True
+        key = _json_line(record.get("tags", {}))
+        self._samples.append((record["t_ms"], series, key, self._seq, record))
+        self._seq += 1
+
+    # -- fork fan-out ------------------------------------------------------
+
+    def snapshot(self) -> List[dict]:
+        """The buffered records, in deterministic output order."""
+        return [entry[4] for entry in sorted(self._samples, key=lambda e: e[:4])]
+
+    def merge_samples(self, records: Sequence[dict]) -> None:
+        """Absorb a child's :meth:`snapshot` (fork-safe aggregation)."""
+        for record in records:
+            if record.get("kind") != "sample":
+                continue
+            tags = record.get("tags", {})
+            self.sample(
+                record["series"],
+                record["t_ms"],
+                record["value"],
+                wall=bool(record.get("wall")),
+                **tags,
+            )
+
+    # -- read side ---------------------------------------------------------
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    def series_names(self) -> List[str]:
+        return sorted({entry[1] for entry in self._samples})
+
+    def write(self, path: Union[str, Path]) -> Tuple[Path, int]:
+        """Write header + sorted samples as canonical JSONL."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        header = {
+            "kind": "header",
+            "schema": TELEMETRY_SCHEMA_VERSION,
+            "cadence_ms": self.cadence_ms,
+        }
+        lines = [_json_line(header)]
+        lines.extend(_json_line(record) for record in self.snapshot())
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path, len(self._samples)
+
+
+class _NullTimeline:
+    """Falsy no-op stand-in when no run is active."""
+
+    __slots__ = ()
+
+    def __bool__(self) -> bool:
+        return False
+
+    def sample(self, series, t_ms, value, wall=False, **tags) -> None:
+        pass
+
+
+NULL_TIMELINE = _NullTimeline()
+
+
+class WindowSampler:
+    """Emit registered watches at a fixed cadence of a virtual clock.
+
+    The sample grid is ``start_ms + k * cadence_ms`` for integer ``k >= 1``
+    — a pure function of the clock, never of host speed.  Call
+    :meth:`advance` from any periodic hook (a maintenance tick, a
+    scheduled sim event); every grid point passed since the last call is
+    emitted, so irregular advance() calls still produce a regular grid.
+    """
+
+    __slots__ = ("timeline", "cadence_ms", "_next_ms", "_watches", "_last_counts")
+
+    def __init__(
+        self,
+        timeline: TimeSeries,
+        cadence_ms: float = DEFAULT_CADENCE_MS,
+        start_ms: float = 0.0,
+    ) -> None:
+        if cadence_ms <= 0:
+            raise ValueError(f"cadence_ms must be positive, got {cadence_ms}")
+        self.timeline = timeline
+        self.cadence_ms = float(cadence_ms)
+        self._next_ms = float(start_ms) + self.cadence_ms
+        #: (series, emit(t_ms) -> None) in registration order
+        self._watches: List[Tuple[str, Callable[[float], None]]] = []
+        self._last_counts: Dict[int, float] = {}
+
+    # -- watch registration ------------------------------------------------
+
+    def watch_counter(self, series: str, counter: Counter, **tags: str) -> None:
+        """Emit the counter's per-window delta (a windowed rate)."""
+        slot = len(self._watches)
+        self._last_counts[slot] = counter.value
+
+        def emit(t_ms: float) -> None:
+            delta = counter.value - self._last_counts[slot]
+            self._last_counts[slot] = counter.value
+            self.timeline.sample(series, t_ms, delta, **tags)
+
+        self._watches.append((series, emit))
+
+    def watch_gauge(self, series: str, gauge: Gauge, **tags: str) -> None:
+        def emit(t_ms: float) -> None:
+            if gauge.value is not None:
+                self.timeline.sample(series, t_ms, gauge.value, **tags)
+
+        self._watches.append((series, emit))
+
+    def watch_histogram(
+        self, series: str, histogram: Histogram, q: float = 0.95, **tags: str
+    ) -> None:
+        def emit(t_ms: float) -> None:
+            value = histogram.quantile(q)
+            if value is not None:
+                self.timeline.sample(series, t_ms, value, **tags)
+
+        self._watches.append((series, emit))
+
+    def watch(self, series: str, fn: Callable[[], Optional[float]], **tags: str) -> None:
+        """Emit ``fn()`` each window (skipped when it returns None)."""
+
+        def emit(t_ms: float) -> None:
+            value = fn()
+            if value is not None:
+                self.timeline.sample(series, t_ms, value, **tags)
+
+        self._watches.append((series, emit))
+
+    # -- clock -------------------------------------------------------------
+
+    def advance(self, now_ms: float) -> int:
+        """Emit every grid point passed up to ``now_ms``; returns count."""
+        emitted = 0
+        while self._next_ms <= now_ms:
+            t_ms = self._next_ms
+            for _series, emit in self._watches:
+                emit(t_ms)
+            self._next_ms += self.cadence_ms
+            emitted += 1
+        return emitted
+
+
+# -- file side -------------------------------------------------------------
+
+_SAMPLE_FIELDS = ("kind", "series", "t_ms", "value")
+
+
+def validate_telemetry_records(records: Sequence[dict]) -> List[str]:
+    """Return human-readable problems; empty means the file conforms."""
+    problems: List[str] = []
+    if not records:
+        return ["telemetry file is empty (expected a header record)"]
+    header = records[0]
+    if header.get("kind") != "header":
+        problems.append("first record must be the header")
+    elif header.get("schema") != TELEMETRY_SCHEMA_VERSION:
+        problems.append(
+            f"schema must be {TELEMETRY_SCHEMA_VERSION}, got {header.get('schema')!r}"
+        )
+    previous: Optional[Tuple[float, str]] = None
+    for index, record in enumerate(records[1:], start=2):
+        kind = record.get("kind")
+        if kind != "sample":
+            problems.append(f"line {index}: unknown record kind {kind!r}")
+            continue
+        for field in _SAMPLE_FIELDS:
+            if field not in record:
+                problems.append(f"line {index}: missing field {field!r}")
+        extra = set(record) - set(_SAMPLE_FIELDS) - {"tags", "wall"}
+        if extra:
+            problems.append(f"line {index}: unexpected fields {sorted(extra)}")
+        series = record.get("series")
+        t_ms = record.get("t_ms")
+        if isinstance(t_ms, (int, float)) and isinstance(series, str):
+            key = (float(t_ms), series)
+            if previous is not None and key < previous:
+                problems.append(f"line {index}: samples out of (t_ms, series) order")
+            previous = key
+    return problems
+
+
+def load_telemetry_file(path: Union[str, Path]) -> List[dict]:
+    """Read and validate a ``telemetry.jsonl`` file."""
+    records = [
+        json.loads(line)
+        for line in Path(path).read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+    problems = validate_telemetry_records(records)
+    if problems:
+        raise ValueError(f"invalid telemetry file {path}: " + "; ".join(problems))
+    return records

@@ -50,6 +50,7 @@ __all__ = [
     "Tracer",
     "TraceSpan",
     "load_trace_file",
+    "load_trace_files",
     "validate_trace_records",
 ]
 
@@ -75,7 +76,7 @@ class TraceSpan:
     """
 
     __slots__ = ("_tracer", "trace_id", "span_id", "parent_id", "name",
-                 "start_ms", "attrs", "ended")
+                 "start_ms", "attrs", "ended", "remote")
 
     def __init__(
         self,
@@ -86,6 +87,7 @@ class TraceSpan:
         name: str,
         start_ms: float,
         attrs: dict,
+        remote: bool = False,
     ) -> None:
         self._tracer = tracer
         self.trace_id = trace_id
@@ -95,6 +97,7 @@ class TraceSpan:
         self.start_ms = start_ms
         self.attrs = attrs
         self.ended = False
+        self.remote = remote
 
     def __bool__(self) -> bool:
         return True
@@ -122,7 +125,7 @@ class TraceSpan:
         self.ended = True
         merged = dict(self.attrs)
         merged.update(attrs)
-        self._tracer._emit({
+        record = {
             "kind": "span",
             "trace": self.trace_id,
             "span": self.span_id,
@@ -131,7 +134,13 @@ class TraceSpan:
             "start_ms": round(self.start_ms, 3),
             "end_ms": round(at_ms, 3),
             "attrs": merged,
-        })
+        }
+        if self.remote:
+            # The parent span lives in another process's trace file; the
+            # validator only checks its trace ownership once the files
+            # are merged (see load_trace_files).
+            record["remote"] = True
+        self._tracer._emit(record)
 
 
 class _NullTraceSpan:
@@ -195,11 +204,22 @@ class Tracer:
         self.records: List[dict] = []
         self.records_written = 0
         self.clock: Callable[[], float] = lambda: 0.0
+        self.node = ""
         self._trace_seq = 0
         self._span_seq = 0
         self._ambient = None
         self._handle: Optional[IO[str]] = None
         self._emit({"kind": "header", "schema": TRACE_SCHEMA_VERSION})
+
+    def set_node(self, node: str) -> None:
+        """Prefix span ids with a per-process node tag.
+
+        Cross-process runs (``serve`` in one process, ``dial`` in
+        another) each own an independent span-id sequence; distinct node
+        prefixes keep ids unique when the files are merged into one
+        causal tree by :func:`load_trace_files`.
+        """
+        self.node = f"{node}-" if node else ""
 
     def __bool__(self) -> bool:
         return True
@@ -237,8 +257,24 @@ class Tracer:
         sequence number, so ids are unique, ordered and byte-stable.
         """
         self._trace_seq += 1
-        trace_id = f"{self._trace_seq:04x}.{int(round(at_ms * 1000)):x}"
+        trace_id = f"{self.node}{self._trace_seq:04x}.{int(round(at_ms * 1000)):x}"
         return self._span(trace_id, None, name, at_ms, attrs)
+
+    def continue_trace(
+        self, trace_id: str, parent_span_id: Optional[str], name: str,
+        at_ms: float, **attrs,
+    ) -> TraceSpan:
+        """Open a span continuing a trace begun in *another* process.
+
+        The context (trace id + parent span id) arrived over the wire
+        (see the codec's trace extension); the resulting span joins the
+        remote trace and is flagged ``remote`` so single-file validation
+        does not demand the foreign parent be present locally.
+        """
+        return TraceSpan(
+            self, trace_id, self._next_span_id(), parent_span_id, name,
+            at_ms, attrs, remote=True,
+        )
 
     def _span(
         self, trace_id: str, parent_id: Optional[str], name: str,
@@ -250,7 +286,7 @@ class Tracer:
 
     def _next_span_id(self) -> str:
         self._span_seq += 1
-        return f"{self._span_seq:06x}"
+        return f"{self.node}{self._span_seq:06x}"
 
     # -- emission ----------------------------------------------------------
 
@@ -303,6 +339,14 @@ class _NullTracer:
 
     def begin(self, name: str, at_ms: float = 0.0, **attrs) -> _NullTraceSpan:
         return NULL_TRACE_SPAN
+
+    def continue_trace(
+        self, trace_id, parent_span_id, name, at_ms: float = 0.0, **attrs
+    ) -> _NullTraceSpan:
+        return NULL_TRACE_SPAN
+
+    def set_node(self, node: str) -> None:
+        pass
 
     def flush(self) -> None:
         pass
@@ -363,9 +407,11 @@ def validate_trace_records(records: List[dict]) -> List[str]:
                 problems.append(f"{where}: missing field {name!r}")
             elif not isinstance(record[name], types):
                 problems.append(f"{where}: field {name!r} has wrong type")
-        extra = set(record) - set(fields) - {"parent"}
+        extra = set(record) - set(fields) - {"parent", "remote"}
         if extra:
             problems.append(f"{where}: unknown fields {sorted(extra)}")
+        if "remote" in record and not isinstance(record["remote"], bool):
+            problems.append(f"{where}: field 'remote' must be a boolean")
         parent = record.get("parent")
         if parent is not None and not isinstance(parent, str):
             problems.append(f"{where}: field 'parent' must be a string or null")
@@ -396,6 +442,11 @@ def validate_trace_records(records: List[dict]) -> List[str]:
         where = f"record {index + 1}"
         owner = span_trace.get(parent)
         if owner is None:
+            if record.get("remote"):
+                # A continuation span: its parent lives in the peer
+                # process's file.  Merging the files (load_trace_files)
+                # restores the full referential check.
+                continue
             problems.append(f"{where}: parent {parent!r} is not a recorded span")
         elif owner != record.get("trace"):
             problems.append(
@@ -413,3 +464,37 @@ def load_trace_file(path: Union[str, Path]) -> List[dict]:
     if problems:
         raise ValueError(f"invalid trace file {path}: " + "; ".join(problems[:5]))
     return records
+
+
+def load_trace_files(paths: List[Union[str, Path]]) -> List[dict]:
+    """Merge several processes' trace files into one validated record set.
+
+    A cross-process run (``serve`` + ``dial``) writes one file per
+    process; wire-propagated trace contexts mean a span's parent may be
+    recorded in a *different* file.  This reads every file, keeps a
+    single header, concatenates the bodies in argument order, and
+    validates the merged whole — so referential integrity is checked
+    across process boundaries, yielding one connected causal tree.
+    """
+    if not paths:
+        raise ValueError("load_trace_files needs at least one path")
+    merged: List[dict] = []
+    for path in paths:
+        lines = Path(path).read_text(encoding="utf-8").splitlines()
+        records = [json.loads(line) for line in lines if line.strip()]
+        if not records or records[0].get("kind") != "header":
+            raise ValueError(f"invalid trace file {path}: missing header record")
+        if records[0].get("schema") != TRACE_SCHEMA_VERSION:
+            raise ValueError(
+                f"invalid trace file {path}: schema "
+                f"{records[0].get('schema')!r} != {TRACE_SCHEMA_VERSION}"
+            )
+        if not merged:
+            merged.append(records[0])
+        merged.extend(records[1:])
+    problems = validate_trace_records(merged)
+    if problems:
+        raise ValueError(
+            "invalid merged trace set: " + "; ".join(problems[:5])
+        )
+    return merged

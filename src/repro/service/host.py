@@ -234,8 +234,12 @@ class HostAgent(ServiceNode):
         net = parent.child(
             "net.request", start, category=category, src_as=self.host.asn, dst_as=dst_as
         )
+        # Ride the span's identity on the request frame (codec trace
+        # extension) so the peer's handler span joins this trace even
+        # across a real process boundary.
+        trace = (net.trace_id, net.span_id) if net else None
         try:
-            reply = await self.transport.request(addr, message, timeout_ms)
+            reply = await self.transport.request(addr, message, timeout_ms, trace=trace)
         except TransportTimeout:
             obs.counter("net.timeouts").inc()
             net.end(self.now_ms(), outcome="timeout", dropped="timeout")

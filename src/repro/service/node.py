@@ -5,12 +5,18 @@ frames to per-message-type async handlers.  A frame whose type has no
 handler is answered with ``ERR_UNSUPPORTED`` — a node never leaves a
 requester hanging on a message it does not speak (the requester's
 timeout is for *lost* messages, not unimplemented ones).
+
+When tracing is active and an inbound frame carries the codec's trace
+extension, dispatch runs inside a continuation span parented to the
+*remote* caller's span — across processes this is what stitches a
+``serve`` + ``dial`` pair into one causal tree.
 """
 
 from __future__ import annotations
 
 from typing import Awaitable, Callable, Dict, Optional, Type
 
+from repro import obs
 from repro.net.codec import ERR_UNSUPPORTED, ErrorFrame, Frame, Message
 from repro.net.transport import Transport
 
@@ -49,6 +55,19 @@ class ServiceNode:
                 detail=f"{self.name} does not handle "
                 f"{type(frame.message).__name__}",
             )
+        tracer = obs.tracer()
+        if tracer and frame.trace_id is not None:
+            span = tracer.continue_trace(
+                frame.trace_id,
+                frame.parent_span,
+                f"serve.{type(frame.message).__name__}",
+                self.now_ms(),
+                node=self.name,
+            )
+            try:
+                return await handler(sender, frame.message)
+            finally:
+                span.end(self.now_ms())
         return await handler(sender, frame.message)
 
     async def start(self) -> None:

@@ -15,6 +15,8 @@ from repro.errors import CodecError, FrameError, WireError
 from repro.net.codec import (
     CODEC_SCHEMA_VERSION,
     ERROR,
+    TRACE_EXT_VERSION,
+    TRACE_FLAG,
     MAX_PAYLOAD_BYTES,
     MESSAGE_TYPES,
     ONEWAY,
@@ -204,3 +206,105 @@ class TestFrameDecoder:
                 frames.extend(decoder.feed(stream[offset:offset + step]))
                 offset += step
             assert [f.message for f in frames] == messages
+
+
+def _split_traced(message, trace, flags=REQUEST, request_id=7):
+    """Encode a traced frame and return (header, ext_with_len, payload)."""
+    raw = encode_frame(message, flags, request_id, trace=trace)
+    payload = message.pack_payload()
+    header_size = len(encode_frame(message, flags, request_id)) - len(payload)
+    body_start = header_size + 1 + raw[header_size]
+    return raw[:header_size], raw[header_size:body_start], raw[body_start:]
+
+
+class TestTraceExtension:
+    def test_round_trip_with_and_without_parent_span(self):
+        for trace in (("d-0001.2a", "d-000001"), ("solo-trace", None)):
+            data = encode_frame(Ping(token=9), REQUEST, 7, trace=trace)
+            frame = decode_frame(data)
+            assert (frame.trace_id, frame.parent_span) == trace
+            assert frame.message == Ping(token=9)
+            assert frame.flags == REQUEST and frame.request_id == 7
+
+    def test_untraced_encoding_is_byte_identical_to_old_wire(self):
+        # trace=None must not perturb a single bit: old decoders keep
+        # working, and old frames decode with no trace context.
+        plain = encode_frame(Ping(token=1), REQUEST, 3)
+        assert encode_frame(Ping(token=1), REQUEST, 3, trace=None) == plain
+        frame = decode_frame(plain)
+        assert frame.trace_id is None and frame.parent_span is None
+
+    def test_trace_rides_only_the_flag_bit(self):
+        header, ext, payload = _split_traced(Ping(token=1), ("t-01.0", "t-000001"))
+        plain = encode_frame(Ping(token=1), REQUEST, 7)
+        # Stripping the extension and clearing the bit reproduces the
+        # pre-extension frame exactly.
+        unflagged = bytearray(header + payload)
+        unflagged[4] &= ~TRACE_FLAG & 0xFF
+        assert bytes(unflagged) == plain
+        assert ext[1] == TRACE_EXT_VERSION
+
+    def test_encode_rejects_bad_trace_context(self):
+        with pytest.raises(CodecError):
+            encode_frame(Ping(token=1), trace=("", None))
+        with pytest.raises(CodecError):
+            encode_frame(Ping(token=1), trace=(1234, None))
+        with pytest.raises(CodecError):
+            encode_frame(Ping(token=1), trace=("x" * 300, None))
+
+    def test_every_extension_truncation_raises(self):
+        header, ext, payload = _split_traced(Ping(token=5), ("tr-99", "sp-11"))
+        for cut in range(len(ext)):
+            with pytest.raises(FrameError):
+                decode_frame(header + ext[:cut] + payload)
+
+    def test_unknown_extension_version_rejected(self):
+        header, ext, payload = _split_traced(Ping(token=5), ("tr-99", "sp-11"))
+        mutated = bytearray(ext)
+        mutated[1] = TRACE_EXT_VERSION + 1
+        with pytest.raises(FrameError, match="version"):
+            decode_frame(header + bytes(mutated) + payload)
+
+    def test_empty_trace_id_on_the_wire_rejected(self):
+        header, _, payload = _split_traced(Ping(token=5), ("tr", None))
+        ext = bytes((TRACE_EXT_VERSION, 0, 0))
+        with pytest.raises(FrameError, match="empty trace id"):
+            decode_frame(header + bytes((len(ext),)) + ext + payload)
+
+    def test_non_utf8_trace_id_rejected(self):
+        header, _, payload = _split_traced(Ping(token=5), ("tr", None))
+        ext = bytes((TRACE_EXT_VERSION, 2, 0xFF, 0xFE, 0))
+        with pytest.raises(FrameError, match="UTF-8"):
+            decode_frame(header + bytes((len(ext),)) + ext + payload)
+
+    def test_stream_decoder_reassembles_mixed_traced_streams(self):
+        frames = [
+            (Ping(token=1), None),
+            (Ping(token=2), ("d-0001.0", "d-000001")),
+            (Ping(token=3), None),
+            (Ping(token=4), ("s-0002.3e8", None)),
+        ]
+        stream = b"".join(
+            encode_frame(m, REQUEST, i + 1, trace=t)
+            for i, (m, t) in enumerate(frames)
+        )
+        for step in (1, 3, len(stream)):
+            decoder = FrameDecoder()
+            out = []
+            for offset in range(0, len(stream), step):
+                out.extend(decoder.feed(stream[offset:offset + step]))
+            assert [(f.message, f.trace_id and (f.trace_id, f.parent_span))
+                    for f in out] == [(m, t and t) for m, t in frames]
+            assert [f.parent_span for f in out] == [None, "d-000001", None, None]
+
+    def test_stream_decoder_buffers_partial_extension(self):
+        raw = encode_frame(Ping(token=7), REQUEST, 2, trace=("tr-abc", "sp-def"))
+        decoder = FrameDecoder()
+        header_size = len(encode_frame(Ping(token=7), REQUEST, 2)) - len(
+            Ping(token=7).pack_payload()
+        )
+        # stop inside the extension: nothing emitted, nothing rejected
+        assert decoder.feed(raw[:header_size + 3]) == []
+        assert decoder.pending_bytes == header_size + 3
+        frames = decoder.feed(raw[header_size + 3:])
+        assert [f.trace_id for f in frames] == ["tr-abc"]

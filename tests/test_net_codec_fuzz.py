@@ -179,3 +179,55 @@ class TestFrameDecoderFuzz:
             decoder.feed(b"XX" + bytes(20))
         with pytest.raises(FrameError, match="poisoned"):
             decoder.feed(_corpus()[0][0])
+
+
+def _traced_corpus():
+    """Traced variants of representative frames (extension segment set)."""
+    contexts = [
+        ("d-0001.2a30", "d-000001"),
+        ("s-00ff.0", None),
+        ("x" * 120, "y" * 120),
+    ]
+    out = []
+    for index, (raw, frame) in enumerate(_corpus()):
+        trace = contexts[index % len(contexts)]
+        out.append(
+            encode_frame(frame.message, frame.flags, frame.request_id, trace=trace)
+        )
+    return out
+
+
+class TestTraceExtensionFuzz:
+    def test_every_truncation_of_traced_frames_raises(self):
+        for raw in _traced_corpus():
+            for cut in range(len(raw)):
+                with pytest.raises(DECODE_ERRORS):
+                    decode_frame(raw[:cut])
+
+    def test_mutations_inside_the_extension_never_crash(self):
+        rng = random.Random(0x7ACE)
+        for raw in _traced_corpus():
+            for _ in range(120):
+                position = rng.randrange(len(raw))
+                mutated = bytearray(raw)
+                mutated[position] ^= 1 << rng.randrange(8)
+                try:
+                    frame = decode_frame(bytes(mutated))
+                except DECODE_ERRORS:
+                    continue
+                assert _reencodes(frame)
+
+    def test_traced_and_legacy_frames_interleave_in_one_stream(self):
+        rng = random.Random(0x51EA)
+        legacy = [raw for raw, _ in _corpus()]
+        traced = _traced_corpus()
+        stream = b"".join(
+            x for pair in zip(legacy, traced) for x in pair
+        )
+        decoder = FrameDecoder()
+        frames = _feed_in_chunks(decoder, stream, rng)
+        assert len(frames) == len(legacy) + len(traced)
+        # trace context alternates absent/present down the stream
+        assert [frame.trace_id is not None for frame in frames] == [
+            bool(i % 2) for i in range(len(frames))
+        ]

@@ -98,9 +98,9 @@ class TestChurnSoak:
         assert again.to_json() == report.to_json()
         assert again.log_lines() == report.log_lines()
 
-    def test_manifest_block_satisfies_schema_v4(self, report):
+    def test_manifest_block_satisfies_schema_v5(self, report):
         document = {
-            "schema": 4,
+            "schema": 5,
             "run_id": "t",
             "command": "soak",
             "argv": [],
