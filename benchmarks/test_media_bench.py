@@ -1,0 +1,30 @@
+"""Media-plane throughput baseline: frames/s through the full
+codec → channel → jitter buffer → PLC → scorer pipeline, recorded as a
+committed baseline in ``benchmarks/BENCH_media.json`` (a 20 ms-interval
+voice stream is 50 frames/s per call, so these numbers bound how many
+concurrent calls one process can score in real time)."""
+
+import json
+from pathlib import Path
+
+from repro.media.bench import run_bench, validate_bench_document
+
+
+def test_bench_media_pipeline():
+    baseline = run_bench(duration_ms=30_000.0, repeats=3)
+    assert validate_bench_document(baseline) == []
+    (Path(__file__).parent / "BENCH_media.json").write_text(
+        json.dumps(baseline, indent=2) + "\n"
+    )
+    # A call generates 50 frames/s; five figures through the full
+    # pipeline means hundreds of concurrent calls scored in real time,
+    # and the playout/score stages alone must be faster still.
+    assert baseline["pipeline_frames_per_sec"] > 10_000, baseline
+    assert baseline["playout_frames_per_sec"] > 50_000, baseline
+    assert baseline["score_frames_per_sec"] > 10_000, baseline
+
+
+def test_committed_baseline_schema_valid():
+    path = Path(__file__).parent / "BENCH_media.json"
+    doc = json.loads(path.read_text(encoding="utf-8"))
+    assert validate_bench_document(doc) == []

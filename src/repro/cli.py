@@ -300,6 +300,32 @@ def cmd_call(args: argparse.Namespace) -> int:
         print(f"messages: {session.messages}")
         best = session.best_relay_rtt_ms
         print("best relay RTT: " + (f"{best:.0f} ms" if best is not None else "none found"))
+    if args.media:
+        from repro.media.session import MediaPlaneConfig, PathWindow, run_media_session
+        from repro.voip.quality import DEFAULT_EVAL_LOSS_RATE, mos_of_path
+
+        rtt = session.best_path_rtt_ms
+        if not np.isfinite(rtt):
+            print("media: no usable path to run frames over", file=sys.stderr)
+            return 1
+        result = run_media_session(
+            call_id=1,
+            duration_ms=args.media_ms,
+            path=[PathWindow(0.0, float(rtt), DEFAULT_EVAL_LOSS_RATE)],
+            config=MediaPlaneConfig(burst_frames=4.0),
+            seed=args.seed,
+        )
+        closed = mos_of_path(float(rtt))
+        print(f"media: {len(result.trace.frames)} frames over best path "
+              f"({rtt:.0f} ms RTT), {result.score.late_frames} late, "
+              f"{result.score.lost_frames} lost, "
+              f"{len(result.switches)} codec switches")
+        print(f"  closed-form MOS: {closed:.3f}   measured MOS: {result.score.mos:.3f}")
+        for w in result.score.windows:
+            mos_str = "outage" if w.is_outage else f"{w.mos:.3f}"
+            print(f"  [{w.start_ms:7.0f}..{w.end_ms:7.0f} ms] "
+                  f"measured {mos_str}  loss {w.effective_loss:.3f}  "
+                  f"codec {w.codec}")
     return 0
 
 
@@ -719,15 +745,42 @@ def cmd_dial(args: argparse.Namespace) -> int:
             for ip in sorted(agents, key=lambda a: a.value):
                 if not await agents[ip].join():
                     raise ServiceError(f"agent {ip} failed to join the overlay")
-            result = await agents[caller_ip].dial(callee_ip, media_ms=args.media_ms)
+            result = await agents[caller_ip].dial(
+                callee_ip, media_ms=args.media_ms, media_frames=args.media
+            )
             received = sum(agents[callee_ip].media_received.values())
+            traces = (
+                {
+                    call_id: agents[callee_ip].received_trace(call_id)
+                    for call_id in sorted(agents[callee_ip].frame_traces)
+                }
+                if args.media
+                else {}
+            )
         finally:
             for agent in agents.values():
                 await agent.close()
-        return result, received
+        return result, received, traces
 
-    result, received = asyncio.run(dial())
+    result, received, traces = asyncio.run(dial())
     _print_dial_result(result, received)
+    if args.media:
+        from repro.media.score import score_trace
+
+        for call_id, trace in traces.items():
+            if not trace.frames:
+                continue
+            score = score_trace(trace)
+            print(f"measured media (call {call_id}): "
+                  f"{len(trace.frames)} frames, "
+                  f"{score.late_frames} late, {score.lost_frames} lost")
+            closed = f"{result.mos:.3f}" if result.mos is not None else "n/a"
+            print(f"  closed-form MOS: {closed}   measured MOS: {score.mos:.3f}")
+            for w in score.windows:
+                mos_str = "outage" if w.is_outage else f"{w.mos:.3f}"
+                print(f"  [{w.start_ms:7.0f}..{w.end_ms:7.0f} ms] "
+                      f"measured {mos_str}  loss {w.effective_loss:.3f}  "
+                      f"codec {w.codec}")
     return 0 if result.outcome in ("completed", "degraded") else 1
 
 
@@ -764,6 +817,46 @@ def cmd_demo(args: argparse.Namespace) -> int:
         print()
         _print_dial_result(call, received)
     return 0 if result.completed == len(result.calls) else 1
+
+
+def cmd_conference(args: argparse.Namespace) -> int:
+    """Bridge an N-way conference through the relay that satisfies all
+    legs and measure per-leg media quality from received frames."""
+    from repro.evaluation.conference import run_conference
+
+    scenario = _build_from_args(args)
+    burst = (
+        None
+        if args.no_burst
+        else (args.burst_start_ms, args.burst_duration_ms, args.burst_loss)
+    )
+    result = run_conference(
+        scenario,
+        participants=args.participants,
+        duration_ms=args.duration_ms,
+        seed=args.seed,
+        burst=burst,
+    )
+    if args.json:
+        print(result.to_json())
+        return 0
+    print(f"{len(result.participants)}-way conference bridged via {result.relay} "
+          f"(worst leg RTT {result.worst_leg_rtt_ms:.0f} ms)")
+    for i, prefix in enumerate(result.participants):
+        print(f"  participant {i}: {prefix}")
+    if result.burst is not None:
+        start, length, rate = result.burst
+        print(f"  injected burst: {rate:.0%} loss over "
+              f"[{start:.0f}..{start + length:.0f}] ms")
+    for leg in result.legs:
+        print(f"  leg {leg.a}-{leg.b}: RTT {leg.rtt_ms:.0f} ms, "
+              f"measured MOS {leg.measured_mos:.3f} "
+              f"(closed form {leg.closed_form_mos:.3f}), "
+              f"{leg.codec_switches} codec switches, "
+              f"concealed {leg.concealed_rate:.1%}")
+    print(f"min leg MOS: {result.min_leg_mos:.3f}; "
+          f"codec switches: {result.total_switches}")
+    return 0
 
 
 def make_parser() -> argparse.ArgumentParser:
@@ -827,6 +920,11 @@ def make_parser() -> argparse.ArgumentParser:
                    help="caller host index into the population")
     p.add_argument("--dst", type=int, default=None, metavar="J",
                    help="callee host index into the population")
+    p.add_argument("--media", action="store_true",
+                   help="run real frames over the best path and print "
+                        "per-window measured MOS beside the closed form")
+    p.add_argument("--media-ms", type=float, default=10_000.0,
+                   help="--media voice duration (default: 10000 ms)")
 
     p = _subcommand(sub, "figures", cmd_figures,
                     "export every figure's raw data as CSV")
@@ -967,6 +1065,10 @@ def make_parser() -> argparse.ArgumentParser:
                    help="callee host index into the population")
     p.add_argument("--media-ms", type=float, default=2_000.0,
                    help="voice duration (default: 2000 ms)")
+    p.add_argument("--media", action="store_true",
+                   help="send real timestamped MediaFrames instead of "
+                        "abstract media packets and print per-window "
+                        "measured MOS beside the closed form")
 
     p = _subcommand(sub, "demo", cmd_demo,
                     "whole overlay in one process (loopback or TCP)")
@@ -978,6 +1080,24 @@ def make_parser() -> argparse.ArgumentParser:
                    help="latent calls to place concurrently (default: 1)")
     p.add_argument("--media-ms", type=float, default=2_000.0,
                    help="voice duration per call (default: 2000 ms)")
+
+    p = _subcommand(sub, "conference", cmd_conference,
+                    "N-way conference: one relay must satisfy all legs; "
+                    "per-leg MOS measured from real frames")
+    p.add_argument("--participants", type=int, default=3,
+                   help="conference size (default: 3)")
+    p.add_argument("--duration-ms", type=float, default=20_000.0,
+                   help="media duration (default: 20000 ms)")
+    p.add_argument("--burst-start-ms", type=float, default=5_000.0,
+                   help="injected loss burst start (default: 5000 ms)")
+    p.add_argument("--burst-duration-ms", type=float, default=4_000.0,
+                   help="injected loss burst length (default: 4000 ms)")
+    p.add_argument("--burst-loss", type=float, default=0.30,
+                   help="injected burst loss rate (default: 0.30)")
+    p.add_argument("--no-burst", action="store_true",
+                   help="run fault-free (no injected burst)")
+    p.add_argument("--json", action="store_true",
+                   help="print the stable JSON document instead of text")
 
     return parser
 

@@ -228,6 +228,13 @@ class MediaSessionRecord:
     dead_relays: Set[IPv4Address] = field(default_factory=set, repr=False)
     #: Failover candidates as (relay_rtt_ms, cluster), best first.
     candidates: List[Tuple[float, int]] = field(default_factory=list, repr=False)
+    #: Media-plane state (populated only when the runtime was built with
+    #: a ``media_plane`` config): sampled path segments, the measured
+    #: :class:`repro.media.session.MediaResult`, and the switch count.
+    media_call_id: int = 0
+    path_windows: List = field(default_factory=list, repr=False)
+    measured: Optional[object] = field(default=None, repr=False)
+    codec_switches: int = 0
     #: The media span and the owning call's root span (no-ops when off);
     #: the root is closed here because media outlives the setup record's
     #: terminal transition.
@@ -297,10 +304,19 @@ class ASAPRuntime:
         scenario: Scenario,
         config: Optional[ASAPConfig] = None,
         policy: Optional[RuntimePolicy] = None,
+        media_plane=None,
+        media_seed: int = 0,
     ) -> None:
         self._scenario = scenario
         self._config = config = config if config is not None else ASAPConfig()
         self._policy = policy if policy is not None else RuntimePolicy()
+        #: Optional :class:`repro.media.session.MediaPlaneConfig`.  When
+        #: set, every media session also runs real frames over its
+        #: (sampled) path and is scored from the received trace; when
+        #: ``None`` — the default — no extra events are scheduled and
+        #: runs stay bit-identical to the frame-free runtime.
+        self._media_plane = media_plane
+        self._media_seed = media_seed
         self._system = ASAPSystem(scenario, config)
         self.sim = Simulator()
         self.network = SimNetwork(self.sim, scenario.latency)
@@ -878,7 +894,60 @@ class ASAPRuntime:
             self.sim.schedule(
                 self._policy.keepalive_interval_ms, lambda: self._keepalive(media, record)
             )
+        if self._media_plane is not None:
+            media.media_call_id = len(self.media_sessions)
+            self._sample_media_path(media)
+            window = self._media_plane.window_ms
+            tick = media.started_ms + window
+            while tick < media.ends_ms:
+                at = tick
+                self.sim.schedule_at(at, lambda: self._sample_media_path(media))
+                tick += window
         self.sim.schedule_at(media.ends_ms, lambda: self._finish_media(media))
+
+    def _media_path_conditions(self, media: MediaSessionRecord):
+        """Current (rtt_ms, loss_rate) of the media path — relay legs
+        when relayed, the direct pair otherwise.  Pure reads: no RNG
+        draws, no messages, so sampling never perturbs the event flow."""
+        caller = self._ensure_registered(media.caller)
+        callee = self._ensure_registered(media.callee)
+        if media.relay_ip is not None:
+            relay = self._ensure_registered(media.relay_ip)
+            legs = [(caller, relay), (relay, callee)]
+        else:
+            legs = [(caller, callee)]
+        rtt = 0.0
+        survive = 1.0
+        for src, dst in legs:
+            leg_rtt = self._rtt_between(src, dst)
+            if leg_rtt is None or not np.isfinite(leg_rtt):
+                return None, 1.0
+            rtt += leg_rtt
+            survive *= 1.0 - self.network.loss_rate_between(src, dst)
+        return rtt, 1.0 - survive
+
+    def _sample_media_path(self, media: MediaSessionRecord) -> None:
+        """Record the path's conditions as a session-relative segment."""
+        if media.outcome != "active" or self.sim.now_ms >= media.ends_ms:
+            return
+        from repro.media.session import PathWindow
+
+        rtt, loss = self._media_path_conditions(media)
+        if rtt is None:
+            # Structurally unreachable right now: keep the last known
+            # RTT (frames in flight pace against it) but lose everything.
+            rtt = media.path_windows[-1].rtt_ms if media.path_windows else media.base_rtt_ms
+            if not np.isfinite(rtt):
+                return
+            loss = 1.0
+        segment = PathWindow(
+            start_ms=round(self.sim.now_ms - media.started_ms, 3),
+            rtt_ms=float(rtt),
+            loss_rate=float(loss),
+        )
+        last = media.path_windows[-1] if media.path_windows else None
+        if last is None or (last.rtt_ms, last.loss_rate) != (segment.rtt_ms, segment.loss_rate):
+            media.path_windows.append(segment)
 
     def _keepalive(self, media: MediaSessionRecord, record: CallSetupRecord) -> None:
         if media.outcome != "active" or media.relay_ip is None:
@@ -1066,6 +1135,32 @@ class ASAPRuntime:
             windows=windows,
         )
         obs.histogram("runtime.media_mos_dip").observe(media.impact.mos_dip)
+        if self._media_plane is not None and media.path_windows:
+            from repro.media.session import run_media_session
+
+            result = run_media_session(
+                call_id=media.media_call_id,
+                duration_ms=duration,
+                path=media.path_windows,
+                outages=windows,
+                config=self._media_plane,
+                seed=self._media_seed,
+                start_ms=media.started_ms,
+                timeline=obs.timeline(),
+                span=media.trace,
+                call=f"{media.caller}-{media.callee}",
+            )
+            media.measured = result
+            media.codec_switches = len(result.switches)
+            obs.histogram("runtime.media_measured_mos").observe(result.score.mos)
+            media.trace.point(
+                "media.measured",
+                self.sim.now_ms,
+                mos=round(result.score.mos, 6),
+                frames=len(result.trace.frames),
+                switches=media.codec_switches,
+                effective_loss=round(result.score.effective_loss, 6),
+            )
         now = self.sim.now_ms
         media.trace.end(
             now,

@@ -40,11 +40,14 @@ from repro.evaluation.robustness import (
     seed_study,
 )
 from repro.evaluation.chaos import ChaosResult, run_chaos, sweep_chaos
+from repro.evaluation.conference import ConferenceLeg, ConferenceResult, run_conference
 from repro.evaluation.figures import export_all
 
 __all__ = [
     "ASAPPolicy",
     "ChaosResult",
+    "ConferenceLeg",
+    "ConferenceResult",
     "Experiment",
     "ExperimentConfig",
     "ExperimentReport",
@@ -66,6 +69,7 @@ __all__ = [
     "run_experiment",
     "run_scalability",
     "run_chaos",
+    "run_conference",
     "run_section3",
     "run_section5",
     "run_section7",

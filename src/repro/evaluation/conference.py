@@ -1,0 +1,222 @@
+"""N-way conference scenario over the media plane.
+
+A conference bridges every participant pair through one relay cluster,
+so the relay choice must satisfy *all* legs at once — the natural
+multi-party extension of the paper's two-party relay selection: instead
+of minimizing one path's RTT, the bridge minimizes the worst pairwise
+relayed RTT.  Each leg then runs a real :mod:`repro.media` session
+(frames, jitter buffer, PLC, codec adaptation) over its relayed path,
+optionally shaped by an injected loss burst, and reports *measured*
+per-leg MOS next to the closed-form score.
+
+Deterministic: participant selection, bridge election and every media
+session derive from the scenario matrices and the seed alone;
+:meth:`ConferenceResult.to_json` is byte-stable for CI diffing.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.errors import ConfigurationError
+from repro.media.session import MediaPlaneConfig, MediaResult, PathWindow, run_media_session
+from repro.scenario import Scenario
+from repro.voip.quality import mos_of_path
+
+#: Default injected loss burst: (start_ms, duration_ms, loss_rate).
+DEFAULT_BURST = (5_000.0, 4_000.0, 0.30)
+
+
+@dataclass(frozen=True)
+class ConferenceLeg:
+    """One participant pair bridged through the relay."""
+
+    a: int                        # participant indices into the roster
+    b: int
+    rtt_ms: float                 # relayed path RTT
+    base_loss: float              # relayed path loss (no burst)
+    measured_mos: float
+    closed_form_mos: float
+    codec_switches: int
+    concealed_rate: float
+
+
+@dataclass(frozen=True)
+class ConferenceResult:
+    participants: Tuple[str, ...]  # cluster prefixes of the roster
+    relay: str                     # bridge cluster prefix
+    worst_leg_rtt_ms: float
+    legs: Tuple[ConferenceLeg, ...]
+    duration_ms: float
+    burst: Optional[Tuple[float, float, float]]
+
+    @property
+    def min_leg_mos(self) -> float:
+        return min(leg.measured_mos for leg in self.legs)
+
+    @property
+    def total_switches(self) -> int:
+        return sum(leg.codec_switches for leg in self.legs)
+
+    def to_json(self) -> str:
+        doc = {
+            "participants": list(self.participants),
+            "relay": self.relay,
+            "worst_leg_rtt_ms": round(self.worst_leg_rtt_ms, 3),
+            "duration_ms": round(self.duration_ms, 3),
+            "burst": None if self.burst is None else [
+                round(x, 6) for x in self.burst
+            ],
+            "min_leg_mos": round(self.min_leg_mos, 6),
+            "total_switches": self.total_switches,
+            "legs": [
+                {
+                    "a": leg.a,
+                    "b": leg.b,
+                    "rtt_ms": round(leg.rtt_ms, 3),
+                    "base_loss": round(leg.base_loss, 6),
+                    "measured_mos": round(leg.measured_mos, 6),
+                    "closed_form_mos": round(leg.closed_form_mos, 6),
+                    "codec_switches": leg.codec_switches,
+                    "concealed_rate": round(leg.concealed_rate, 6),
+                }
+                for leg in self.legs
+            ],
+        }
+        return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def _pick_participants(rtt: np.ndarray, count: int) -> List[int]:
+    """Deterministic roster: the worst finite-RTT pair, then repeatedly
+    the cluster maximizing its minimum RTT to everyone already picked
+    (max-min spread — the hardest conference to bridge)."""
+    finite = np.where(np.isfinite(rtt), rtt, -1.0)
+    np.fill_diagonal(finite, -1.0)
+    a, b = np.unravel_index(int(np.argmax(finite)), finite.shape)
+    roster = [int(min(a, b)), int(max(a, b))]
+    while len(roster) < count:
+        best_idx, best_score = -1, -1.0
+        for idx in range(rtt.shape[0]):
+            if idx in roster:
+                continue
+            to_roster = [rtt[idx, r] for r in roster]
+            if not all(np.isfinite(to_roster)):
+                continue
+            score = float(min(to_roster))
+            if score > best_score:
+                best_idx, best_score = idx, score
+        if best_idx < 0:
+            raise ConfigurationError("not enough mutually reachable clusters")
+        roster.append(best_idx)
+    return roster
+
+
+def _elect_bridge(rtt: np.ndarray, roster: Sequence[int]) -> Tuple[int, float]:
+    """The cluster minimizing the worst pairwise relayed RTT (ties →
+    lowest index).  Every leg a-b runs a→bridge→b."""
+    best_idx, best_worst = -1, float("inf")
+    pairs = [(a, b) for i, a in enumerate(roster) for b in roster[i + 1:]]
+    for idx in range(rtt.shape[0]):
+        legs = [rtt[a, idx] + rtt[idx, b] for a, b in pairs]
+        if not all(np.isfinite(legs)):
+            continue
+        worst = float(max(legs))
+        if worst < best_worst:
+            best_idx, best_worst = idx, worst
+    if best_idx < 0:
+        raise ConfigurationError("no cluster can bridge all legs")
+    return best_idx, best_worst
+
+
+def run_conference(
+    scenario: Scenario,
+    participants: int = 3,
+    duration_ms: float = 20_000.0,
+    seed: int = 0,
+    burst: Optional[Tuple[float, float, float]] = DEFAULT_BURST,
+    media: Optional[MediaPlaneConfig] = None,
+) -> ConferenceResult:
+    """Bridge an N-way conference and measure every leg's media quality.
+
+    ``burst`` injects a loss episode ``(start_ms, duration_ms, rate)``
+    on the bridge (all legs see it — relay-local congestion); ``None``
+    runs fault-free.  Telemetry samples are tagged ``leg="a-b"``; codec
+    switches appear as ``media.codec_switch`` trace points under a
+    ``conference`` root span.
+    """
+    if participants < 2:
+        raise ConfigurationError("a conference needs at least 2 participants")
+    if media is None:
+        media = MediaPlaneConfig(burst_frames=4.0)
+    matrices = scenario.matrices
+    rtt = matrices.rtt_ms
+    if rtt.shape[0] < participants + 1:
+        raise ConfigurationError("scenario too small for this conference")
+    roster = _pick_participants(rtt, participants)
+    bridge, worst_rtt = _elect_bridge(rtt, roster)
+
+    timeline = obs.timeline()
+    tracer = obs.tracer()
+    span = tracer.begin(
+        "conference", tracer.now(),
+        participants=participants, bridge=str(matrices.prefixes[bridge]),
+    )
+
+    legs: List[ConferenceLeg] = []
+    pairs = [(a, b) for i, a in enumerate(roster) for b in roster[i + 1:]]
+    for pair_index, (a, b) in enumerate(pairs):
+        leg_rtt = float(rtt[a, bridge] + rtt[bridge, b])
+        loss_in = float(matrices.loss[a, bridge])
+        loss_out = float(matrices.loss[bridge, b])
+        base_loss = 1.0 - (1.0 - loss_in) * (1.0 - loss_out)
+        path = [PathWindow(start_ms=0.0, rtt_ms=leg_rtt, loss_rate=base_loss)]
+        if burst is not None:
+            start, length, rate = burst
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError("burst loss rate must be in [0, 1]")
+            path = [
+                PathWindow(0.0, leg_rtt, base_loss),
+                PathWindow(start, leg_rtt, max(base_loss, rate)),
+                PathWindow(start + length, leg_rtt, base_loss),
+            ]
+        leg_span = span.child(
+            "conference.leg", tracer.now(), a=roster.index(a), b=roster.index(b)
+        )
+        result: MediaResult = run_media_session(
+            call_id=pair_index + 1,
+            duration_ms=duration_ms,
+            path=path,
+            config=media,
+            seed=seed,
+            timeline=timeline,
+            span=leg_span,
+            leg=f"{roster.index(a)}-{roster.index(b)}",
+        )
+        leg_span.end(tracer.now(), mos=result.score.mos, switches=len(result.switches))
+        legs.append(
+            ConferenceLeg(
+                a=roster.index(a),
+                b=roster.index(b),
+                rtt_ms=leg_rtt,
+                base_loss=base_loss,
+                measured_mos=result.score.mos,
+                closed_form_mos=round(mos_of_path(leg_rtt, base_loss), 6),
+                codec_switches=len(result.switches),
+                concealed_rate=result.score.concealed_rate,
+            )
+        )
+    span.end(tracer.now(), legs=len(legs))
+
+    return ConferenceResult(
+        participants=tuple(str(matrices.prefixes[i]) for i in roster),
+        relay=str(matrices.prefixes[bridge]),
+        worst_leg_rtt_ms=worst_rtt,
+        legs=tuple(legs),
+        duration_ms=duration_ms,
+        burst=burst,
+    )

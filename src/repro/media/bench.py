@@ -1,0 +1,113 @@
+"""Media-plane throughput benchmark and BENCH_media.json schema.
+
+Measures frames/s through the full codec → channel → jitter buffer →
+PLC → scorer pipeline (via :func:`repro.media.session.run_media_session`)
+and through the playout stage alone.  The committed baseline lives in
+``benchmarks/BENCH_media.json``; CI re-validates its schema with::
+
+    python -m repro.media.bench --check benchmarks/BENCH_media.json
+
+and the benchmark test refreshes the numbers.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from pathlib import Path
+from typing import Dict, List
+
+from repro.media.frames import ReceivedTrace
+from repro.media.jitterbuf import AdaptiveJitterBuffer, JitterBufferConfig
+from repro.media.score import score_trace
+from repro.media.session import MediaPlaneConfig, PathWindow, run_media_session
+
+#: Required keys of BENCH_media.json and their types.
+BENCH_MEDIA_SCHEMA: Dict[str, type] = {
+    "session_seconds_simulated": (int, float),
+    "pipeline_frames_per_sec": (int, float),
+    "playout_frames_per_sec": (int, float),
+    "score_frames_per_sec": (int, float),
+}
+
+
+def validate_bench_document(doc: dict) -> List[str]:
+    """Schema-check a BENCH_media.json dict; returns problems (empty = ok)."""
+    problems = []
+    for key, kinds in BENCH_MEDIA_SCHEMA.items():
+        if key not in doc:
+            problems.append(f"missing key {key!r}")
+        elif not isinstance(doc[key], kinds) or isinstance(doc[key], bool):
+            problems.append(f"key {key!r} must be numeric, got {type(doc[key]).__name__}")
+        elif doc[key] <= 0:
+            problems.append(f"key {key!r} must be positive")
+    for key in doc:
+        if key not in BENCH_MEDIA_SCHEMA:
+            problems.append(f"unexpected key {key!r}")
+    return problems
+
+
+def run_bench(duration_ms: float = 30_000.0, repeats: int = 3) -> dict:
+    """Time the media pipeline; returns a BENCH_media.json-shaped dict."""
+    config = MediaPlaneConfig(burst_frames=4.0)
+    path = [PathWindow(start_ms=0.0, rtt_ms=120.0, loss_rate=0.02)]
+
+    def one_session():
+        return run_media_session(
+            call_id=1, duration_ms=duration_ms, path=path, config=config, seed=7
+        )
+
+    result = one_session()  # warmup; reused for the stage benches
+    frames = len(result.trace.frames)
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        one_session()
+    pipeline_fps = repeats * frames / (time.perf_counter() - t0)
+
+    trace: ReceivedTrace = result.trace
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        AdaptiveJitterBuffer(JitterBufferConfig()).play(trace)
+    playout_fps = repeats * frames / (time.perf_counter() - t0)
+
+    t0 = time.perf_counter()
+    for _ in range(repeats):
+        score_trace(trace)
+    score_fps = repeats * frames / (time.perf_counter() - t0)
+
+    return {
+        "session_seconds_simulated": round(duration_ms / 1000.0),
+        "pipeline_frames_per_sec": round(pipeline_fps),
+        "playout_frames_per_sec": round(playout_fps),
+        "score_frames_per_sec": round(score_fps),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.media.bench")
+    parser.add_argument("--out", type=Path, help="write fresh results here")
+    parser.add_argument(
+        "--check", type=Path, help="schema-validate an existing BENCH_media.json"
+    )
+    args = parser.parse_args(argv)
+    if args.check is not None:
+        doc = json.loads(args.check.read_text(encoding="utf-8"))
+        problems = validate_bench_document(doc)
+        for p in problems:
+            print(f"BENCH_media.json: {p}")
+        if problems:
+            return 1
+        print(f"{args.check}: schema ok")
+        return 0
+    doc = run_bench()
+    text = json.dumps(doc, indent=2) + "\n"
+    if args.out is not None:
+        args.out.write_text(text, encoding="utf-8")
+    print(text, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -40,6 +40,7 @@ from repro.net.codec import (
     KeepaliveAck,
     Leave,
     Media,
+    MediaFrame,
     NodalPublish,
     Ping,
     Pong,
@@ -79,6 +80,7 @@ __all__ = [
     "LoopbackHub",
     "LoopbackTransport",
     "Media",
+    "MediaFrame",
     "NodalPublish",
     "Ping",
     "Pong",

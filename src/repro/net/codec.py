@@ -74,6 +74,7 @@ __all__ = [
     "KeepaliveAck",
     "Leave",
     "Media",
+    "MediaFrame",
     "Message",
     "NodalPublish",
     "Ping",
@@ -757,6 +758,31 @@ class Media(Message):
 
     call_id: int
     seq: int
+    payload: bytes
+
+
+@_register
+@dataclass(frozen=True)
+class MediaFrame(Message):
+    """One timestamped codec frame of real media (the `repro.media` plane).
+
+    Unlike the abstract :class:`Media` packet, a frame carries its send
+    timestamp (sim-time ms) and the wire id of the codec that produced
+    it, so the receiver can reconstruct a playout-scoreable trace."""
+
+    TYPE = 0x14
+    FIELDS = (
+        ("call_id", "u64"),
+        ("seq", "u32"),
+        ("timestamp_ms", "f64"),
+        ("codec", "u8"),
+        ("payload", "bytes"),
+    )
+
+    call_id: int
+    seq: int
+    timestamp_ms: float
+    codec: int
     payload: bytes
 
 

@@ -60,6 +60,9 @@ class DemoResult:
     foreign_joins: List[int] = field(default_factory=list)
     #: media frames each callee actually received, keyed by call index.
     media_delivered: List[int] = field(default_factory=list)
+    #: with ``media_frames=True``: per call index, the callee's
+    #: {call_id: ReceivedTrace} reconstructed from MediaFrame receipts.
+    frame_traces: List[Dict] = field(default_factory=list)
     #: final virtual time of the loopback hub (0.0 on tcp).
     virtual_ms: float = 0.0
     wire_deliveries: int = 0
@@ -105,6 +108,7 @@ async def _demo_main(
     policy: RuntimePolicy,
     result: DemoResult,
     shards: int = 1,
+    media_frames: bool = False,
 ) -> None:
     # One bootstrap per shard; shard 0 keeps the single-shard address
     # (and the plain "bootstrap" node name) so shards=1 runs are
@@ -166,13 +170,21 @@ async def _demo_main(
 
     callers = [agents[caller] for caller, _ in pairs]
     dials = [
-        agents[caller].dial(callee, media_ms=media_ms) for caller, callee in pairs
+        agents[caller].dial(callee, media_ms=media_ms, media_frames=media_frames)
+        for caller, callee in pairs
     ]
     result.calls = await callers[0].transport.gather(*dials)
 
     for index, (_, callee) in enumerate(pairs):
         received = sum(agents[callee].media_received.values())
         result.media_delivered.append(received)
+        if media_frames:
+            agent = agents[callee]
+            traces = {
+                call_id: agent.received_trace(call_id)
+                for call_id in sorted(agent.frame_traces)
+            }
+            result.frame_traces.append(traces)
 
     result.foreign_joins = [server.foreign_joins for server in bootstraps]
 
@@ -195,6 +207,7 @@ def run_demo(
     workers: Optional[int] = None,
     cache_dir: Optional[str] = None,
     shards: int = 1,
+    media_frames: bool = False,
 ) -> DemoResult:
     """Build a world, run a full overlay in-process, place latent calls."""
     if world is None:
@@ -223,7 +236,11 @@ def run_demo(
         make = lambda addr: LoopbackTransport(hub, addr)
         obs.tracer().clock = lambda: hub.now_ms
         asyncio.run(
-            hub.run(_demo_main(world, make, pairs, media_ms, policy, result, shards))
+            hub.run(
+                _demo_main(
+                    world, make, pairs, media_ms, policy, result, shards, media_frames
+                )
+            )
         )
         result.virtual_ms = hub.now_ms
         result.wire_deliveries = hub.deliveries
@@ -257,7 +274,11 @@ def run_demo(
                 return world.scenario.latency.host_rtt_ms(a, b)
 
         make = lambda addr_key: _RegisteringShaped(TcpTransport(), addr_key)
-        asyncio.run(_demo_main(world, make, pairs, media_ms, policy, result, shards))
+        asyncio.run(
+            _demo_main(
+                world, make, pairs, media_ms, policy, result, shards, media_frames
+            )
+        )
     else:
         raise ServiceError(f"unknown transport {transport!r} (loopback|tcp)")
     return result

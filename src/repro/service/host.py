@@ -52,6 +52,7 @@ from repro.net.codec import (
     KeepaliveAck,
     Leave,
     Media,
+    MediaFrame,
     Message,
     NodalPublish,
     Ping,
@@ -152,6 +153,9 @@ class HostAgent(ServiceNode):
         self._relaying: Dict[int, _RelayState] = {}
         #: call_id -> media frames received as the callee.
         self.media_received: Dict[int, int] = {}
+        #: call_id -> raw MediaFrame receipts as the callee:
+        #: (seq, sender timestamp_ms, arrival now_ms, codec wire id).
+        self.frame_traces: Dict[int, List[Tuple[int, float, float, int]]] = {}
         self.relayed_calls = 0
         self._relay_addr: Optional[str] = None
         self._last_selection: Optional[RelaySelection] = None
@@ -160,6 +164,7 @@ class HostAgent(ServiceNode):
         self.handle(CallSetup, self._on_call_setup)
         self.handle(RelaySetup, self._on_relay_setup)
         self.handle(Media, self._on_media)
+        self.handle(MediaFrame, self._on_media_frame)
         self.handle(Keepalive, self._on_keepalive)
         self.handle(Bye, self._on_bye)
 
@@ -209,6 +214,31 @@ class HostAgent(ServiceNode):
         if message.call_id in self.media_received:
             self.media_received[message.call_id] += 1
         return None
+
+    async def _on_media_frame(self, sender: str, message: MediaFrame) -> None:
+        """Real codec frames (the `repro.media` plane): relays forward,
+        the callee records a scoreable receipt per frame."""
+        state = self._relaying.get(message.call_id)
+        if state is not None:
+            state.forwarded += 1
+            obs.counter("service.media_forwarded").inc()
+            await self.transport.send(state.callee_addr, message)
+            return None
+        if message.call_id in self.media_received:
+            self.media_received[message.call_id] += 1
+            self.frame_traces.setdefault(message.call_id, []).append(
+                (message.seq, message.timestamp_ms, self.now_ms(), message.codec)
+            )
+        return None
+
+    def received_trace(self, call_id: int, expected_frames: Optional[int] = None):
+        """The callee's :class:`repro.media.frames.ReceivedTrace` for a
+        call dialed with ``media_frames=True`` (gaps become losses)."""
+        from repro.media.frames import trace_from_wire
+
+        return trace_from_wire(
+            call_id, self.frame_traces.get(call_id, []), expected_frames
+        )
 
     async def _on_keepalive(self, sender: str, message: Keepalive) -> Message:
         return KeepaliveAck(call_id=message.call_id, seq=message.seq)
@@ -345,6 +375,7 @@ class HostAgent(ServiceNode):
         self,
         callee_ip: IPv4Address,
         media_ms: Optional[float] = None,
+        media_frames: bool = False,
     ) -> DialResult:
         """Place one call; the full pipeline described in the module doc."""
         if not self.joined:
@@ -415,7 +446,9 @@ class HostAgent(ServiceNode):
             return self._dial_failed(result, span, "call-rejected")
 
         if media_ms is not None:
-            await self._run_media(result, span, callee_addr, call_id, media_ms)
+            await self._run_media(
+                result, span, callee_addr, call_id, media_ms, media_frames
+            )
         result.mos = round(mos_of_path(result.path_rtt_ms), 3) if result.path_rtt_ms is not None else None
         span.end(self.now_ms(), outcome=result.outcome)
         return result
@@ -727,12 +760,32 @@ class HostAgent(ServiceNode):
         return False
 
     async def _run_media(
-        self, result: DialResult, span, callee_addr: str, call_id: int, media_ms: float
+        self,
+        result: DialResult,
+        span,
+        callee_addr: str,
+        call_id: int,
+        media_ms: float,
+        media_frames: bool = False,
     ) -> None:
-        """5. paced media with keepalive-guarded relay failover."""
+        """5. paced media with keepalive-guarded relay failover.
+
+        ``media_frames`` swaps the abstract :class:`Media` packets for
+        real timestamped :class:`MediaFrame` messages at the codec's
+        actual packetization interval, so the callee accumulates a
+        scoreable received-frame trace."""
         policy = self._policy
         relay_addr = self._relay_addr if result.path == "relay" else None
         target = relay_addr if relay_addr is not None else callee_addr
+        if media_frames:
+            from repro.media.frames import CODEC_WIRE_IDS
+            from repro.voip.codecs import G729A_VAD
+
+            interval_ms = G729A_VAD.packet_interval_ms()
+            codec_id = CODEC_WIRE_IDS[G729A_VAD.name]
+        else:
+            interval_ms = MEDIA_PACKET_INTERVAL_MS
+            codec_id = 0
         media = span.child(
             "media",
             self.now_ms(),
@@ -747,9 +800,21 @@ class HostAgent(ServiceNode):
         ka_seq = 0
         dead: set = set()
         while self.now_ms() < ends_at:
-            await self.transport.send(
-                target, Media(call_id=call_id, seq=seq, payload=_MEDIA_PAYLOAD)
-            )
+            if media_frames:
+                await self.transport.send(
+                    target,
+                    MediaFrame(
+                        call_id=call_id,
+                        seq=seq,
+                        timestamp_ms=self.now_ms(),
+                        codec=codec_id,
+                        payload=_MEDIA_PAYLOAD,
+                    ),
+                )
+            else:
+                await self.transport.send(
+                    target, Media(call_id=call_id, seq=seq, payload=_MEDIA_PAYLOAD)
+                )
             seq += 1
             if relay_addr is not None and self.now_ms() >= next_keepalive:
                 ka_seq += 1
@@ -774,7 +839,7 @@ class HostAgent(ServiceNode):
                         result, media, callee_addr, call_id, dead
                     )
                 next_keepalive = self.now_ms() + policy.keepalive_interval_ms
-            await self.transport.sleep_ms(MEDIA_PACKET_INTERVAL_MS)
+            await self.transport.sleep_ms(interval_ms)
         result.media_packets = seq
         media.end(self.now_ms(), outcome="completed", packets=seq)
         if relay_addr is not None:

@@ -6,7 +6,7 @@ read off MOS.  Quality requirements: RTT below 300 ms (one-way 150 ms,
 ITU G.114) and MOS above 3.6.
 """
 
-from repro.voip.codecs import Codec, G711, G723_1, G729, G729A_VAD
+from repro.voip.codecs import Codec, G711, G723_1, G729, G729A_VAD, ILBC
 from repro.voip.emodel import EModel, EModelConfig
 from repro.voip.outage import (
     OUTAGE_FLOOR_MOS,
@@ -31,6 +31,7 @@ __all__ = [
     "G723_1",
     "G729",
     "G729A_VAD",
+    "ILBC",
     "MOS_THRESHOLD",
     "OUTAGE_FLOOR_MOS",
     "OutageImpact",

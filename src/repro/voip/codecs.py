@@ -74,4 +74,21 @@ G723_1 = Codec(
     frames_per_packet=1,
 )
 
-ALL_CODECS = (G711, G729, G729A_VAD, G723_1)
+# The media plane's loss-robust fallback.  iLBC's frame-independent
+# coding buys a much higher Bpl (G.113 Appendix I additions; 30 ms
+# mode): at zero loss its longer frame + lookahead make it score
+# *below* G.729A+VAD (delay impairment), but past a few percent loss
+# the Bpl advantage dominates and it scores above.  G.723.1 cannot
+# play this role — its Bpl (16.1) is *lower* than G.729A's, so it
+# degrades faster under loss, not slower.
+ILBC = Codec(
+    name="iLBC",
+    ie=11.0,
+    bpl=32.0,
+    bitrate_kbps=13.33,
+    frame_ms=30.0,
+    lookahead_ms=10.0,
+    frames_per_packet=1,
+)
+
+ALL_CODECS = (G711, G729, G729A_VAD, G723_1, ILBC)

@@ -22,6 +22,88 @@ from repro.voip.emodel import EModel, EModelConfig
 
 
 @dataclass(frozen=True)
+class GilbertElliottConfig:
+    """Two-state bursty-loss channel (Gilbert–Elliott).
+
+    The chain sits in a *good* or *bad* state per packet; each state
+    drops packets with its own probability (the classic Gilbert special
+    case is ``loss_good=0, loss_bad=1``).  ``p_good_to_bad`` /
+    ``p_bad_to_good`` are the per-packet transition probabilities, so
+    the mean burst length is ``1 / p_bad_to_good`` packets and the
+    stationary loss rate follows from the state occupancies.
+    """
+
+    p_good_to_bad: float
+    p_bad_to_good: float
+    loss_good: float = 0.0
+    loss_bad: float = 1.0
+
+    def __post_init__(self) -> None:
+        for name in ("p_good_to_bad", "p_bad_to_good", "loss_good", "loss_bad"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+        if self.p_bad_to_good <= 0.0:
+            raise ConfigurationError("p_bad_to_good must be positive "
+                                     "(an absorbing bad state never recovers)")
+
+    @property
+    def stationary_bad(self) -> float:
+        """Long-run fraction of packets spent in the bad state."""
+        denom = self.p_good_to_bad + self.p_bad_to_good
+        return self.p_good_to_bad / denom if denom > 0 else 0.0
+
+    @property
+    def stationary_loss(self) -> float:
+        """Long-run mean loss rate of the channel."""
+        pi_bad = self.stationary_bad
+        return (1.0 - pi_bad) * self.loss_good + pi_bad * self.loss_bad
+
+    @classmethod
+    def from_loss_and_burst(
+        cls, mean_loss: float, mean_burst: float = 4.0
+    ) -> "GilbertElliottConfig":
+        """Gilbert channel matching a target mean loss and burst length.
+
+        ``mean_burst`` is the expected run of consecutive losses (in
+        packets); the good state is loss-free and the bad state drops
+        everything, so ``p_bad_to_good = 1/mean_burst`` and
+        ``p_good_to_bad`` is solved from the stationary loss.
+        """
+        if not 0.0 < mean_loss < 1.0:
+            raise ConfigurationError("mean_loss must be in (0, 1)")
+        if mean_burst < 1.0:
+            raise ConfigurationError("mean_burst must be >= 1 packet")
+        r = 1.0 / mean_burst
+        p = min(1.0, r * mean_loss / (1.0 - mean_loss))
+        return cls(p_good_to_bad=p, p_bad_to_good=r)
+
+
+def sample_gilbert_elliott(
+    rng: np.random.Generator, count: int, config: GilbertElliottConfig
+) -> np.ndarray:
+    """Draw ``count`` per-packet loss flags from the channel.
+
+    Deterministic for a given generator state: exactly two uniform
+    draws per packet (state transition, then loss emission), consumed
+    in packet order.  The chain starts in the good state.
+    """
+    transitions = rng.random(count)
+    emissions = rng.random(count)
+    lost = np.zeros(count, dtype=bool)
+    bad = False
+    for i in range(count):
+        if bad:
+            if transitions[i] < config.p_bad_to_good:
+                bad = False
+        else:
+            if transitions[i] < config.p_good_to_bad:
+                bad = True
+        loss_p = config.loss_bad if bad else config.loss_good
+        lost[i] = emissions[i] < loss_p
+    return lost
+
+
+@dataclass(frozen=True)
 class StreamConfig:
     """Parameters of a synthesized voice packet stream."""
 
@@ -31,6 +113,12 @@ class StreamConfig:
     # base one-way delay of every packet.
     jitter_mean_ms: float = 6.0
     seed: int = 0
+    # Bursty-loss mode: with a Gilbert–Elliott channel configured, loss
+    # flags come from the two-state chain instead of i.i.d. draws (the
+    # chain's own rates govern; ``loss_rate`` is ignored).  ``None`` —
+    # the default — keeps the random-loss path bit-identical to
+    # pre-bursty builds: same draws, same order.
+    ge: Optional[GilbertElliottConfig] = None
 
     def __post_init__(self) -> None:
         if self.duration_ms <= 0:
@@ -72,7 +160,10 @@ def simulate_stream(
     interval = config.codec.packet_interval_ms()
     count = config.packet_count
     sent = np.arange(count) * interval
-    lost = rng.random(count) < loss_rate
+    if config.ge is None:
+        lost = rng.random(count) < loss_rate
+    else:
+        lost = sample_gilbert_elliott(rng, count, config.ge)
     jitter = rng.exponential(config.jitter_mean_ms, size=count) if config.jitter_mean_ms > 0 else np.zeros(count)
     arrivals: List[PacketArrival] = []
     for seq in range(count):

@@ -1,0 +1,357 @@
+"""Unit tests for the ``repro.media`` plane: frames, jitter buffer,
+PLC, codec adaptation, trace scoring and the end-to-end session."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.media.adapt import AdaptationPolicy, CodecAdapter
+from repro.media.frames import (
+    CODEC_WIRE_IDS,
+    FrameSource,
+    ReceivedFrame,
+    ReceivedTrace,
+    codec_by_wire_id,
+    trace_from_wire,
+)
+from repro.media.jitterbuf import AdaptiveJitterBuffer, JitterBufferConfig
+from repro.media.plc import PLCConfig, conceal
+from repro.media.score import MEASURED_MOS_TOLERANCE, score_trace
+from repro.media.session import MediaPlaneConfig, PathWindow, run_media_session
+from repro.voip.codecs import ALL_CODECS, G729A_VAD, ILBC
+from repro.voip.emodel import EModel, EModelConfig
+from repro.voip.outage import OutageWindow
+from repro.voip.quality import mos_of_path
+
+
+# -- fallback codec sanity (satellite) ----------------------------------------
+
+
+class TestFallbackCodec:
+    def test_fallback_worse_at_zero_loss(self):
+        """iLBC's longer frame + lookahead costs delay: at zero loss the
+        primary codec scores strictly better."""
+        primary = EModel(EModelConfig(codec=G729A_VAD))
+        fallback = EModel(EModelConfig(codec=ILBC))
+        for one_way in (20.0, 80.0, 150.0):
+            assert primary.mos(one_way, 0.0) > fallback.mos(one_way, 0.0)
+
+    def test_fallback_better_at_high_loss(self):
+        """iLBC's Bpl advantage dominates once loss climbs."""
+        primary = EModel(EModelConfig(codec=G729A_VAD))
+        fallback = EModel(EModelConfig(codec=ILBC))
+        for loss in (0.05, 0.10, 0.20):
+            assert fallback.mos(80.0, loss) > primary.mos(80.0, loss)
+
+    def test_ilbc_constants(self):
+        assert ILBC.bpl > G729A_VAD.bpl
+        assert ILBC.codec_delay_ms() > G729A_VAD.codec_delay_ms()
+        assert ILBC in ALL_CODECS
+
+
+# -- frames -------------------------------------------------------------------
+
+
+class TestFrames:
+    def test_wire_ids_are_stable_and_total(self):
+        assert len(CODEC_WIRE_IDS) == len(ALL_CODECS)
+        for codec in ALL_CODECS:
+            assert codec_by_wire_id(CODEC_WIRE_IDS[codec.name]) is codec
+        with pytest.raises(ConfigurationError):
+            codec_by_wire_id(200)
+
+    def test_source_paces_at_codec_interval(self):
+        source = FrameSource(G729A_VAD)
+        frames = list(source.frames_until(100.0))
+        assert [f.sequence for f in frames] == list(range(5))
+        assert [f.sent_ms for f in frames] == [0.0, 20.0, 40.0, 60.0, 80.0]
+
+    def test_switch_changes_pacing(self):
+        source = FrameSource(G729A_VAD)
+        source.next_frame()          # 0 ms
+        source.switch(ILBC)          # 30 ms interval from the next frame on
+        second = source.next_frame()
+        third = source.next_frame()
+        assert second.codec is ILBC
+        assert third.sent_ms - second.sent_ms == ILBC.packet_interval_ms()
+
+    def test_trace_roundtrip_is_byte_identical(self, tmp_path):
+        frames = tuple(
+            ReceivedFrame(i, i * 20.0, None if i == 3 else i * 20.0 + 45.0, "G.729A+VAD")
+            for i in range(6)
+        )
+        trace = ReceivedTrace(call_id=9, frames=frames)
+        path = tmp_path / "trace.jsonl"
+        trace.write(path)
+        again = ReceivedTrace.read(path)
+        assert again == trace
+        assert again.to_jsonl() == trace.to_jsonl()
+        assert trace.loss_rate == pytest.approx(1 / 6)
+
+    def test_trace_rejects_gaps(self):
+        with pytest.raises(ConfigurationError):
+            ReceivedTrace(
+                call_id=1,
+                frames=(ReceivedFrame(1, 0.0, 1.0, "G.729A+VAD"),),
+            )
+
+    def test_trace_from_wire_fills_gaps_as_loss(self):
+        wire_id = CODEC_WIRE_IDS["G.729A+VAD"]
+        receipts = [
+            (0, 0.0, 60.0, wire_id),
+            (2, 40.0, 100.0, wire_id),
+            (2, 40.0, 95.0, wire_id),   # duplicate: earliest arrival wins
+        ]
+        trace = trace_from_wire(7, receipts, expected_frames=4)
+        assert len(trace.frames) == 4
+        assert trace.frames[1].lost and trace.frames[3].lost
+        assert trace.frames[2].arrival_ms == 95.0
+        assert trace.frames[1].sent_ms == 20.0  # interpolated pacing
+
+
+# -- jitter buffer ------------------------------------------------------------
+
+
+def _trace(arrivals, interval=20.0, codec="G.729A+VAD"):
+    return ReceivedTrace(
+        call_id=1,
+        frames=tuple(
+            ReceivedFrame(i, i * interval, a, codec) for i, a in enumerate(arrivals)
+        ),
+    )
+
+
+class TestJitterBuffer:
+    def test_steady_path_all_played_at_min_depth(self):
+        trace = _trace([i * 20.0 + 60.0 for i in range(50)])
+        result = AdaptiveJitterBuffer().play(trace)
+        assert result.played == 50 and result.late == 0 and result.lost == 0
+        assert result.mean_depth_ms == pytest.approx(20.0)
+        # Playout = sent + delay + depth on a jitter-free path.
+        assert result.frames[10].playout_ms == pytest.approx(10 * 20.0 + 60.0 + 20.0)
+
+    def test_late_frame_reclassified_as_loss(self):
+        arrivals = [i * 20.0 + 60.0 for i in range(50)]
+        arrivals[30] = 30 * 20.0 + 500.0  # way past any deadline
+        result = AdaptiveJitterBuffer().play(_trace(arrivals))
+        assert result.frames[30].status == "late"
+        assert result.effective_loss_flags[30] is True
+        assert result.late == 1
+
+    def test_lost_frames_do_not_advance_estimators(self):
+        steady = [i * 20.0 + 60.0 for i in range(40)]
+        with_loss = list(steady)
+        with_loss[5] = None
+        a = AdaptiveJitterBuffer().play(_trace(steady))
+        b = AdaptiveJitterBuffer().play(_trace(with_loss))
+        # Every other frame's playout schedule is unchanged by the loss.
+        for i in (6, 20, 39):
+            assert a.frames[i].playout_ms == b.frames[i].playout_ms
+
+    def test_depth_clamped_to_max(self):
+        config = JitterBufferConfig(max_depth_ms=50.0)
+        buf = AdaptiveJitterBuffer(config)
+        arrivals = [i * 20.0 + 60.0 + (i % 7) * 40.0 for i in range(200)]
+        result = buf.play(_trace(arrivals))
+        assert all(f.depth_ms <= 50.0 for f in result.frames)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            JitterBufferConfig(alpha=1.5)
+        with pytest.raises(ConfigurationError):
+            JitterBufferConfig(min_depth_ms=100.0, max_depth_ms=10.0)
+
+
+# -- PLC ----------------------------------------------------------------------
+
+
+class TestPLC:
+    def test_short_runs_fully_concealed(self):
+        flags = [False, True, True, False, True, False]
+        report = conceal(flags)
+        assert report.concealed == 3 and report.revealed == 0
+        assert report.effective_loss == pytest.approx(3 * 0.35 / 6)
+
+    def test_long_burst_revealed_past_window(self):
+        flags = [False] * 5 + [True] * 8 + [False] * 5
+        report = conceal(flags, PLCConfig(max_conceal_frames=3))
+        assert report.concealed == 3 and report.revealed == 5
+        assert report.statuses[5:8] == ("concealed",) * 3
+        assert report.statuses[8:13] == ("revealed",) * 5
+
+    def test_burst_aware_same_mean_loss(self):
+        """Same loss count, burstier arrangement → more revealed loss."""
+        scattered = ([True] + [False] * 9) * 4          # 4 isolated losses
+        bursty = [True] * 4 + [False] * 36              # one 4-burst
+        assert (
+            conceal(bursty).effective_loss > conceal(scattered).effective_loss
+        )
+
+    def test_runs_reset_after_good_frame(self):
+        flags = [True] * 3 + [False] + [True] * 3
+        report = conceal(flags, PLCConfig(max_conceal_frames=3))
+        assert report.revealed == 0  # both runs fit the window
+
+
+# -- adaptation ---------------------------------------------------------------
+
+
+class TestAdaptation:
+    def test_down_and_up_switch_with_hysteresis(self):
+        policy = AdaptationPolicy(window_frames=10, down_loss=0.3, up_loss=0.1,
+                                  min_dwell_frames=0)
+        adapter = CodecAdapter(policy)
+        switches = []
+        t = 0.0
+        # 10 clean frames, then a heavy-loss episode, then clean again.
+        pattern = [False] * 10 + [True] * 5 + [False] * 40
+        for seq, lost in enumerate(pattern):
+            s = adapter.observe(seq, t, lost)
+            if s:
+                switches.append(s)
+            t += 20.0
+        assert [s.to_codec for s in switches] == ["iLBC", "G.729A+VAD"]
+        assert switches[0].window_loss >= policy.down_loss
+        assert switches[1].window_loss <= policy.up_loss
+
+    def test_no_switch_inside_hysteresis_band(self):
+        policy = AdaptationPolicy(window_frames=10, down_loss=0.5, up_loss=0.1,
+                                  min_dwell_frames=0)
+        adapter = CodecAdapter(policy)
+        # Constant 20% loss sits between the thresholds: never switches.
+        for seq in range(200):
+            assert adapter.observe(seq, seq * 20.0, seq % 5 == 0) is None
+        assert adapter.codec is policy.primary
+
+    def test_dwell_blocks_immediate_flap(self):
+        policy = AdaptationPolicy(window_frames=4, down_loss=0.5, up_loss=0.4,
+                                  min_dwell_frames=100)
+        adapter = CodecAdapter(policy)
+        switched = 0
+        for seq in range(100):
+            if adapter.observe(seq, seq * 20.0, True):
+                switched += 1
+        assert switched == 1  # dwell holds despite the thresholds inviting flaps
+
+    def test_policy_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptationPolicy(down_loss=0.1, up_loss=0.2)
+        with pytest.raises(ConfigurationError):
+            AdaptationPolicy(window_frames=0)
+
+
+# -- scoring ------------------------------------------------------------------
+
+
+class TestScoreTrace:
+    def test_measured_agrees_with_closed_form_on_clean_path(self):
+        """Zero-fault fixed-RTT path: measured MOS within the documented
+        tolerance of the closed-form E-model score (same codec/loss)."""
+        rtt = 150.0
+        result = run_media_session(
+            call_id=1,
+            duration_ms=10_000.0,
+            path=[PathWindow(0.0, rtt, 0.0)],
+            config=MediaPlaneConfig(jitter_mean_ms=0.0),
+            seed=0,
+        )
+        closed = mos_of_path(rtt, loss_rate=0.0)
+        assert abs(result.score.mos - closed) < MEASURED_MOS_TOLERANCE
+
+    def test_zero_played_window_counts_as_outage(self):
+        arrivals = [i * 20.0 + 60.0 for i in range(150)]
+        for i in range(50, 100):       # second second: nothing arrives
+            arrivals[i] = None
+        score = score_trace(_trace(arrivals))
+        assert any(w.is_outage for w in score.windows)
+        assert score.outage_windows
+        assert score.mos < score.base_mos
+
+    def test_loss_lowers_measured_mos(self):
+        clean = run_media_session(
+            1, 10_000.0, [PathWindow(0.0, 100.0, 0.0)],
+            config=MediaPlaneConfig(jitter_mean_ms=0.0), seed=0,
+        )
+        lossy = run_media_session(
+            1, 10_000.0, [PathWindow(0.0, 100.0, 0.10)],
+            config=MediaPlaneConfig(jitter_mean_ms=0.0), seed=0,
+        )
+        assert lossy.score.mos < clean.score.mos
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ConfigurationError):
+            score_trace(ReceivedTrace(call_id=1, frames=()))
+
+
+# -- end-to-end session -------------------------------------------------------
+
+
+class TestMediaSession:
+    def test_same_seed_byte_identical(self):
+        kwargs = dict(
+            call_id=5,
+            duration_ms=12_000.0,
+            path=[PathWindow(0.0, 120.0, 0.02)],
+            config=MediaPlaneConfig(burst_frames=4.0),
+            seed=11,
+        )
+        a = run_media_session(**kwargs)
+        b = run_media_session(**kwargs)
+        assert a.trace.to_jsonl() == b.trace.to_jsonl()
+        assert a.score == b.score
+        assert a.switches == b.switches
+
+    def test_different_seeds_differ(self):
+        kwargs = dict(
+            call_id=5, duration_ms=12_000.0,
+            path=[PathWindow(0.0, 120.0, 0.05)],
+            config=MediaPlaneConfig(),
+        )
+        a = run_media_session(seed=1, **kwargs)
+        b = run_media_session(seed=2, **kwargs)
+        assert a.trace.to_jsonl() != b.trace.to_jsonl()
+
+    def test_burst_triggers_codec_switch(self):
+        result = run_media_session(
+            call_id=2,
+            duration_ms=20_000.0,
+            path=[
+                PathWindow(0.0, 120.0, 0.005),
+                PathWindow(5_000.0, 120.0, 0.30),
+                PathWindow(12_000.0, 120.0, 0.005),
+            ],
+            config=MediaPlaneConfig(burst_frames=4.0),
+            seed=5,
+        )
+        downs = [s for s in result.switches if s.to_codec == ILBC.name]
+        assert downs, "expected a fallback switch under the loss burst"
+        assert 5_000.0 <= downs[0].at_ms <= 12_000.0
+
+    def test_outage_overrides_channel_without_perturbing_it(self):
+        kwargs = dict(
+            call_id=3, duration_ms=10_000.0,
+            path=[PathWindow(0.0, 100.0, 0.0)],
+            config=MediaPlaneConfig(jitter_mean_ms=0.0, adaptation=None),
+            seed=0,
+        )
+        clean = run_media_session(**kwargs)
+        cut = run_media_session(
+            outages=[OutageWindow(3_000.0, 5_000.0)], **kwargs
+        )
+        # Outside the outage the traces agree frame for frame.
+        for f_clean, f_cut in zip(clean.trace.frames, cut.trace.frames):
+            if 3_000.0 <= f_clean.sent_ms < 5_000.0:
+                assert f_cut.lost
+            else:
+                assert f_clean == f_cut
+        assert cut.score.mos < clean.score.mos
+
+    def test_session_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_media_session(1, 0.0, [PathWindow(0.0, 100.0, 0.0)])
+        with pytest.raises(ConfigurationError):
+            run_media_session(1, 1000.0, [])
+        with pytest.raises(ConfigurationError):
+            run_media_session(
+                1, 1000.0,
+                [PathWindow(500.0, 100.0, 0.0), PathWindow(0.0, 100.0, 0.0)],
+            )

@@ -90,7 +90,7 @@ class TestRoundTrip:
     def test_every_protocol_message_is_registered(self):
         # 19 messages: the full §6 vocabulary, the error frame, and the
         # best-effort Leave deregistration.
-        assert len(MESSAGE_TYPES) == 19
+        assert len(MESSAGE_TYPES) == 20
         names = {cls.__name__ for cls in MESSAGE_TYPES.values()}
         assert {"Join", "Leave", "CloseSetQuery", "CallSetup", "RelaySetup",
                 "Media", "Keepalive", "Bye", "ErrorFrame"} <= names
